@@ -1,0 +1,165 @@
+//! Batcher's bitonic sort — the classical merge-network baseline of §II.
+//!
+//! The local kernel sorts power-of-two lengths directly and arbitrary
+//! lengths by physically padding with a maximum sentinel. The distributed
+//! bitonic baseline in `pgxd-baselines` composes [`compare_split`] with
+//! pairwise machine exchanges, reproducing the "exchanges the entire data
+//! assigned to each processor" communication pattern the paper criticizes.
+
+/// The raw iterative bitonic network for power-of-two lengths (or < 2).
+pub fn bitonic_sort_pow2<T: Ord>(data: &mut [T]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    let ascending = i & k == 0;
+                    if (data[i] > data[partner]) == ascending {
+                        data.swap(i, partner);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// Sorts arbitrary-length data by padding with `pad` (which must compare
+/// `>=` every element, e.g. `u64::MAX`) up to the next power of two,
+/// running the network, and copying the prefix back.
+pub fn bitonic_sort_padded<T: Ord + Copy>(data: &mut [T], pad: T) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    debug_assert!(data.iter().all(|x| *x <= pad), "pad must be a maximum");
+    let padded_len = n.next_power_of_two();
+    if padded_len == n {
+        bitonic_sort_pow2(data);
+        return;
+    }
+    let mut buf = Vec::with_capacity(padded_len);
+    buf.extend_from_slice(data);
+    buf.resize(padded_len, pad);
+    bitonic_sort_pow2(&mut buf);
+    data.copy_from_slice(&buf[..n]);
+}
+
+/// The compare-split primitive of *distributed* bitonic sort: two machines
+/// holding sorted blocks exchange copies, and the "low" side keeps the
+/// smallest `a.len()` elements while the "high" side keeps the largest
+/// `b.len()`. Returns `(low_keep, high_keep)`.
+pub fn compare_split<T: Ord + Copy>(a: &[T], b: &[T]) -> (Vec<T>, Vec<T>) {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    let mut all = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let take_a = i < a.len() && (j >= b.len() || a[i] <= b[j]);
+        if take_a {
+            all.push(a[i]);
+            i += 1;
+        } else {
+            all.push(b[j]);
+            j += 1;
+        }
+    }
+    let high = all.split_off(a.len());
+    (all, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_vec(seed: u64, n: usize, modulus: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pow2_network_sorts() {
+        for n in [2usize, 4, 64, 1024, 4096] {
+            let mut v = xorshift_vec(7, n, 1000);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            bitonic_sort_pow2(&mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pow2_tiny() {
+        let mut v: Vec<u64> = vec![];
+        bitonic_sort_pow2(&mut v);
+        let mut v = vec![3u64];
+        bitonic_sort_pow2(&mut v);
+        assert_eq!(v, vec![3]);
+    }
+
+    #[test]
+    fn padded_sorts_arbitrary_lengths() {
+        for n in [1usize, 3, 5, 100, 1000, 1023, 1025] {
+            let mut v = xorshift_vec(n as u64, n, 500);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            bitonic_sort_padded(&mut v, u64::MAX);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn padded_duplicates() {
+        let mut v = xorshift_vec(77, 3000, 4);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        bitonic_sort_padded(&mut v, u64::MAX);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn compare_split_partitions() {
+        let a = vec![1u64, 5, 9, 12];
+        let b = vec![2u64, 3, 10, 11, 20];
+        let (lo, hi) = compare_split(&a, &b);
+        assert_eq!(lo.len(), a.len());
+        assert_eq!(hi.len(), b.len());
+        assert_eq!(lo, vec![1, 2, 3, 5]);
+        assert_eq!(hi, vec![9, 10, 11, 12, 20]);
+        assert!(lo.last().unwrap() <= hi.first().unwrap());
+    }
+
+    #[test]
+    fn compare_split_empty_sides() {
+        let (lo, hi) = compare_split::<u64>(&[], &[1, 2]);
+        assert!(lo.is_empty());
+        assert_eq!(hi, vec![1, 2]);
+        let (lo, hi) = compare_split::<u64>(&[1, 2], &[]);
+        assert_eq!(lo, vec![1, 2]);
+        assert!(hi.is_empty());
+    }
+
+    #[test]
+    fn compare_split_interleaved_duplicates() {
+        let a = vec![2u64, 2, 2];
+        let b = vec![2u64, 2];
+        let (lo, hi) = compare_split(&a, &b);
+        assert_eq!(lo, vec![2, 2, 2]);
+        assert_eq!(hi, vec![2, 2]);
+    }
+}

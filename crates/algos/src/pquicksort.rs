@@ -1,0 +1,77 @@
+//! The paper's *parallel quick sort* (§IV step 1): data is divided equally
+//! among the worker threads of a machine, each worker quicksorts its chunk
+//! locally, and the per-worker runs are combined with the balanced merge
+//! handler of Fig. 2.
+
+use crate::merge::sort_chunks_and_merge;
+use crate::quicksort::quicksort;
+
+/// Sorts `data` with `workers` threads: even chunking, per-chunk
+/// quicksort, balanced pairwise merging. Returns the sorted vector.
+pub fn parallel_quicksort<T: Ord + Copy + Send + Sync>(data: Vec<T>, workers: usize) -> Vec<T> {
+    sort_chunks_and_merge(data, workers, |chunk| quicksort(chunk))
+}
+
+/// In-place convenience wrapper around [`parallel_quicksort`].
+pub fn parallel_quicksort_in_place<T: Ord + Copy + Send + Sync>(data: &mut Vec<T>, workers: usize) {
+    let taken = std::mem::take(data);
+    *data = parallel_quicksort(taken, workers);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_vec(n: usize, modulus: u64) -> Vec<u64> {
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_std_sort_across_worker_counts() {
+        let base = xorshift_vec(200_000, u64::MAX);
+        let mut expect = base.clone();
+        expect.sort_unstable();
+        for workers in [1, 2, 3, 4, 7, 8, 16] {
+            let got = parallel_quicksort(base.clone(), workers);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn heavy_duplicates() {
+        let base = xorshift_vec(100_000, 3);
+        let mut expect = base.clone();
+        expect.sort_unstable();
+        assert_eq!(parallel_quicksort(base, 8), expect);
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert_eq!(parallel_quicksort(Vec::<u64>::new(), 8), vec![]);
+        assert_eq!(parallel_quicksort(vec![1u64], 8), vec![1]);
+        assert_eq!(parallel_quicksort(vec![2u64, 1], 8), vec![1, 2]);
+    }
+
+    #[test]
+    fn in_place_wrapper() {
+        let mut v = vec![5u32, 1, 4, 2, 3];
+        parallel_quicksort_in_place(&mut v, 2);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse() {
+        let asc: Vec<u64> = (0..50_000).collect();
+        assert_eq!(parallel_quicksort(asc.clone(), 4), asc);
+        let desc: Vec<u64> = (0..50_000).rev().collect();
+        assert_eq!(parallel_quicksort(desc, 4), asc);
+    }
+}

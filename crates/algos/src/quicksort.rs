@@ -1,0 +1,192 @@
+//! Sequential quicksort — the per-worker local sort of §IV step 1.
+//!
+//! Introsort-flavoured for robustness: median-of-three pivot selection,
+//! insertion sort below [`INSERTION_THRESHOLD`], and a heapsort fallback
+//! once recursion depth exceeds `2·log2(n)` so adversarial inputs cannot
+//! degrade to `O(n²)`.
+
+use crate::insertion::insertion_sort;
+
+/// Below this length quicksort hands over to insertion sort.
+pub const INSERTION_THRESHOLD: usize = 24;
+
+/// Sorts `data` in place with introsort (quicksort + insertion base +
+/// heapsort depth fallback).
+pub fn quicksort<T: Ord + Copy>(data: &mut [T]) {
+    let depth_limit = 2 * (usize::BITS - data.len().leading_zeros()) as usize;
+    introsort(data, depth_limit);
+}
+
+fn introsort<T: Ord + Copy>(data: &mut [T], depth_limit: usize) {
+    let mut slice = data;
+    let mut depth = depth_limit;
+    // Tail-recurse into the larger half iteratively to bound stack depth.
+    loop {
+        if slice.len() <= INSERTION_THRESHOLD {
+            insertion_sort(slice);
+            return;
+        }
+        if depth == 0 {
+            heapsort(slice);
+            return;
+        }
+        depth -= 1;
+        let pivot_index = partition(slice);
+        let (lo, rest) = slice.split_at_mut(pivot_index);
+        let hi = &mut rest[1..];
+        if lo.len() < hi.len() {
+            introsort(lo, depth);
+            slice = hi;
+        } else {
+            introsort(hi, depth);
+            slice = lo;
+        }
+    }
+}
+
+/// Hoare-style partition around a median-of-three pivot; returns the final
+/// pivot position. The pivot is swapped to the end during partitioning, so
+/// `data[returned]` equals the pivot and both sides exclude it.
+fn partition<T: Ord + Copy>(data: &mut [T]) -> usize {
+    let len = data.len();
+    let (a, b, c) = (0, len / 2, len - 1);
+    // Order the three samples so the median lands at `b`.
+    if data[a] > data[b] {
+        data.swap(a, b);
+    }
+    if data[b] > data[c] {
+        data.swap(b, c);
+    }
+    if data[a] > data[b] {
+        data.swap(a, b);
+    }
+    data.swap(b, len - 2); // stash pivot just before the (>= pivot) sentinel
+    let pivot = data[len - 2];
+    let mut i = a;
+    let mut j = len - 2;
+    loop {
+        i += 1;
+        while data[i] < pivot {
+            i += 1;
+        }
+        j -= 1;
+        while data[j] > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+    }
+    data.swap(i, len - 2);
+    i
+}
+
+/// Bottom-up heapsort used as the introsort depth fallback.
+pub fn heapsort<T: Ord + Copy>(data: &mut [T]) {
+    let len = data.len();
+    for start in (0..len / 2).rev() {
+        sift_down(data, start, len);
+    }
+    for end in (1..len).rev() {
+        data.swap(0, end);
+        sift_down(data, 0, end);
+    }
+}
+
+fn sift_down<T: Ord + Copy>(data: &mut [T], mut root: usize, end: usize) {
+    loop {
+        let mut child = 2 * root + 1;
+        if child >= end {
+            return;
+        }
+        if child + 1 < end && data[child] < data[child + 1] {
+            child += 1;
+        }
+        if data[root] >= data[child] {
+            return;
+        }
+        data.swap(root, child);
+        root = child;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorts(mut v: Vec<u64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    fn xorshift_vec(n: usize, modulus: u64) -> Vec<u64> {
+        let mut x: u64 = 0x853c49e6748fea9b;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_random() {
+        check_sorts(xorshift_vec(10_000, u64::MAX));
+    }
+
+    #[test]
+    fn sorts_many_duplicates() {
+        check_sorts(xorshift_vec(10_000, 4));
+    }
+
+    #[test]
+    fn sorts_sorted_and_reverse() {
+        check_sorts((0..5000).collect());
+        check_sorts((0..5000).rev().collect());
+    }
+
+    #[test]
+    fn sorts_all_equal() {
+        check_sorts(vec![9; 4096]);
+    }
+
+    #[test]
+    fn sorts_organ_pipe() {
+        let mut v: Vec<u64> = (0..2500).chain((0..2500).rev()).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_tiny() {
+        check_sorts(vec![]);
+        check_sorts(vec![1]);
+        check_sorts(vec![2, 1]);
+        check_sorts(vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn heapsort_standalone() {
+        let mut v = xorshift_vec(3000, 1000);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        heapsort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn partition_separates() {
+        let mut v = xorshift_vec(500, 100);
+        let p = partition(&mut v);
+        let pivot = v[p];
+        assert!(v[..p].iter().all(|&x| x <= pivot));
+        assert!(v[p + 1..].iter().all(|&x| x >= pivot));
+    }
+}

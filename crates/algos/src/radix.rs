@@ -1,0 +1,164 @@
+//! LSD radix sort — the comparison-free classical baseline of §II.
+//!
+//! The paper notes radix sort "highly depends on the data characteristics"
+//! and suffers irregular communication in its distributed form; the
+//! distributed variant in `pgxd-baselines` is built on this local kernel.
+
+/// Keys that expose a fixed-width unsigned radix image whose order matches
+/// their `Ord` order.
+pub trait RadixKey: Copy {
+    /// Number of 8-bit digit passes needed.
+    const PASSES: usize;
+    /// The `d`-th least-significant byte of the order-preserving image.
+    fn digit(self, d: usize) -> u8;
+}
+
+impl RadixKey for u64 {
+    const PASSES: usize = 8;
+    #[inline]
+    fn digit(self, d: usize) -> u8 {
+        (self >> (8 * d)) as u8
+    }
+}
+
+impl RadixKey for u32 {
+    const PASSES: usize = 4;
+    #[inline]
+    fn digit(self, d: usize) -> u8 {
+        (self >> (8 * d)) as u8
+    }
+}
+
+impl RadixKey for i64 {
+    const PASSES: usize = 8;
+    #[inline]
+    fn digit(self, d: usize) -> u8 {
+        // Bias to unsigned so negative values order below positive ones.
+        (((self as u64) ^ (1u64 << 63)) >> (8 * d)) as u8
+    }
+}
+
+/// Stable LSD radix sort with 8-bit digits and per-pass counting, skipping
+/// passes where every key shares the same digit (common on duplicated or
+/// small-range data).
+pub fn radix_sort<T: RadixKey>(data: &mut Vec<T>) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    // SAFETY-free: fill scratch by copying; every slot is rewritten by the
+    // first executed pass anyway.
+    scratch.extend_from_slice(data);
+
+    let mut src_is_data = true;
+    for pass in 0..T::PASSES {
+        let (src, dst): (&mut Vec<T>, &mut Vec<T>) = if src_is_data {
+            (data, &mut scratch)
+        } else {
+            (&mut scratch, data)
+        };
+        let mut counts = [0usize; 256];
+        for &k in src.iter() {
+            counts[k.digit(pass) as usize] += 1;
+        }
+        // Skip degenerate passes (all keys share this digit).
+        if counts.contains(&n) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut running = 0;
+        for (o, &c) in offsets.iter_mut().zip(counts.iter()) {
+            *o = running;
+            running += c;
+        }
+        for &k in src.iter() {
+            let d = k.digit(pass) as usize;
+            dst[offsets[d]] = k;
+            offsets[d] += 1;
+        }
+        src_is_data = !src_is_data;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_vec(seed: u64, n: usize, modulus: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_u64_random() {
+        let mut v = xorshift_vec(0x5151, 50_000, u64::MAX);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_small_range_skips_passes() {
+        let mut v = xorshift_vec(0x99, 10_000, 200); // only low byte varies
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_u32() {
+        let mut v: Vec<u32> = xorshift_vec(0x3, 20_000, 1 << 31)
+            .into_iter()
+            .map(|x| x as u32)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_i64_with_negatives() {
+        let mut v: Vec<i64> = xorshift_vec(0x42, 20_000, u64::MAX)
+            .into_iter()
+            .map(|x| x as i64)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_edges() {
+        let mut v: Vec<u64> = vec![];
+        radix_sort(&mut v);
+        let mut v = vec![9u64];
+        radix_sort(&mut v);
+        assert_eq!(v, vec![9]);
+        let mut v = vec![u64::MAX, 0, u64::MAX, 1];
+        radix_sort(&mut v);
+        assert_eq!(v, vec![0, 1, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn all_equal() {
+        let mut v = vec![123456789u64; 5000];
+        let expect = v.clone();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+}

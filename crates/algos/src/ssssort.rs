@@ -1,0 +1,210 @@
+//! Super scalar sample sort (Sanders & Winkel, ESA 2004 — the paper's
+//! reference \[21\]).
+//!
+//! The single-machine ancestor of the distributed algorithm: pick `k − 1`
+//! splitters from a sample, lay them out as an implicit Eytzinger search
+//! tree, classify every element with a branch-predictable loop of
+//! `log₂ k` comparisons, scatter into buckets, and recurse. Offered as a
+//! third local-sort option
+//! ([`LocalSortAlgo`](../../pgxd_core/config/enum.LocalSortAlgo.html))
+//! so the local-sort choice itself can be ablated.
+
+use crate::quicksort::quicksort;
+use crate::Key;
+
+/// Buckets per classification level (power of two).
+pub const NUM_BUCKETS: usize = 64;
+const LOG_BUCKETS: u32 = NUM_BUCKETS.trailing_zeros();
+
+/// Oversampling factor: `NUM_BUCKETS * OVERSAMPLING` sample candidates.
+pub const OVERSAMPLING: usize = 8;
+
+/// Below this size, hand off to quicksort.
+pub const BASE_CASE: usize = 2048;
+
+/// Sorts `data` with super scalar sample sort. Out-of-place per level
+/// (one scatter buffer), recursion on buckets.
+pub fn super_scalar_sample_sort<T: Key>(data: Vec<T>) -> Vec<T> {
+    let depth_limit = 1 + data.len().max(2).ilog2() / LOG_BUCKETS;
+    sort_rec(data, depth_limit as usize)
+}
+
+fn sort_rec<T: Key>(mut data: Vec<T>, depth: usize) -> Vec<T> {
+    let n = data.len();
+    if n <= BASE_CASE || depth == 0 {
+        quicksort(&mut data);
+        return data;
+    }
+
+    // --- sample & splitters -------------------------------------------------
+    let sample_size = (NUM_BUCKETS * OVERSAMPLING).min(n);
+    let mut sample: Vec<T> = Vec::with_capacity(sample_size);
+    let mut x: u64 = 0x9e3779b97f4a7c15 ^ (n as u64);
+    for _ in 0..sample_size {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        sample.push(data[(x % n as u64) as usize]);
+    }
+    quicksort(&mut sample);
+    // k - 1 splitters at regular sample positions.
+    let splitters: Vec<T> = (1..NUM_BUCKETS)
+        .map(|i| sample[i * sample.len() / NUM_BUCKETS])
+        .collect();
+
+    // Degenerate sample (all candidates equal): classification would put
+    // everything in one bucket; fall back.
+    if splitters.first() == splitters.last() {
+        quicksort(&mut data);
+        return data;
+    }
+
+    // --- implicit Eytzinger splitter tree -----------------------------------
+    // tree[1..NUM_BUCKETS] holds the splitters in BFS order of a perfect
+    // binary search tree; index 0 is unused.
+    let mut tree = vec![splitters[0]; NUM_BUCKETS];
+    {
+        let mut idx = 0usize;
+        fill_tree(&splitters, &mut tree, 1, &mut idx);
+        debug_assert_eq!(idx, splitters.len());
+    }
+
+    // --- classify + scatter --------------------------------------------------
+    let mut bucket_of = vec![0u8; n];
+    let mut counts = [0usize; NUM_BUCKETS];
+    for (e, &key) in data.iter().enumerate() {
+        let mut i = 1usize;
+        for _ in 0..LOG_BUCKETS {
+            // Branch-free descent: left for <=, right for >.
+            i = 2 * i + usize::from(key > tree[i]);
+        }
+        let b = i - NUM_BUCKETS;
+        bucket_of[e] = b as u8;
+        counts[b] += 1;
+    }
+    let mut offsets = [0usize; NUM_BUCKETS];
+    let mut running = 0;
+    for (o, &c) in offsets.iter_mut().zip(counts.iter()) {
+        *o = running;
+        running += c;
+    }
+    let mut scattered: Vec<T> = Vec::with_capacity(n);
+    // SAFETY-free scatter: clone then overwrite every slot via cursors.
+    scattered.extend_from_slice(&data);
+    {
+        let mut cursors = offsets;
+        for (e, &key) in data.iter().enumerate() {
+            let b = bucket_of[e] as usize;
+            scattered[cursors[b]] = key;
+            cursors[b] += 1;
+        }
+    }
+    drop(data);
+    drop(bucket_of);
+
+    // --- recurse per bucket ---------------------------------------------------
+    let mut out = Vec::with_capacity(n);
+    for b in 0..NUM_BUCKETS {
+        let start = offsets[b];
+        let end = start + counts[b];
+        if counts[b] == 0 {
+            continue;
+        }
+        let bucket: Vec<T> = scattered[start..end].to_vec();
+        // Guaranteed progress: a bucket that barely shrank (heavy
+        // duplication piling onto one splitter) is finished directly.
+        let sorted_bucket = if counts[b] > n / 2 {
+            let mut v = bucket;
+            quicksort(&mut v);
+            v
+        } else {
+            sort_rec(bucket, depth - 1)
+        };
+        out.extend(sorted_bucket);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// In-order fill of the Eytzinger layout: node `node`'s subtree receives
+/// the next splitters in sorted order.
+fn fill_tree<T: Copy>(sorted: &[T], tree: &mut [T], node: usize, idx: &mut usize) {
+    if node >= tree.len() {
+        return;
+    }
+    fill_tree(sorted, tree, 2 * node, idx);
+    tree[node] = sorted[*idx];
+    *idx += 1;
+    fill_tree(sorted, tree, 2 * node + 1, idx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_vec(seed: u64, n: usize, modulus: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    fn check(v: Vec<u64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        assert_eq!(super_scalar_sample_sort(v), expect);
+    }
+
+    #[test]
+    fn sorts_random_various_sizes() {
+        for n in [0usize, 1, 100, 2048, 2049, 10_000, 100_000] {
+            check(xorshift_vec(1, n, u64::MAX));
+        }
+    }
+
+    #[test]
+    fn sorts_heavy_duplicates() {
+        for modulus in [1u64, 2, 5, 50] {
+            check(xorshift_vec(7, 50_000, modulus));
+        }
+    }
+
+    #[test]
+    fn sorts_presorted_reverse_and_organ() {
+        check((0..50_000).collect());
+        check((0..50_000).rev().collect());
+        check((0..25_000).chain((0..25_000).rev()).collect());
+    }
+
+    #[test]
+    fn sorts_single_dominant_value() {
+        let mut v = vec![7u64; 40_000];
+        v.extend(xorshift_vec(3, 10_000, 1000));
+        check(v);
+    }
+
+    #[test]
+    fn eytzinger_tree_is_search_tree() {
+        let splitters: Vec<u64> = (1..NUM_BUCKETS as u64).collect();
+        let mut tree = vec![0u64; NUM_BUCKETS];
+        let mut idx = 0;
+        fill_tree(&splitters, &mut tree, 1, &mut idx);
+        assert_eq!(idx, splitters.len());
+        // Bucket b receives keys in (s[b-1], s[b]] with s = [1..=63], so
+        // a key's bucket is the number of splitters strictly below it.
+        for key in 0..=NUM_BUCKETS as u64 {
+            let mut i = 1usize;
+            for _ in 0..LOG_BUCKETS {
+                i = 2 * i + usize::from(key > tree[i]);
+            }
+            let bucket = (i - NUM_BUCKETS) as u64;
+            let expect = splitters.iter().filter(|&&s| s < key).count() as u64;
+            assert_eq!(bucket, expect, "key {key}");
+        }
+    }
+}

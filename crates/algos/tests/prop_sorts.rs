@@ -1,0 +1,281 @@
+//! Property tests: every sorting kernel produces a sorted permutation of
+//! its input for arbitrary data, and the search/merge primitives agree
+//! with their `std` reference implementations.
+
+use pgxd_algos::bitonic::{bitonic_sort_padded, compare_split};
+use pgxd_algos::insertion::{binary_insertion_sort, insertion_sort};
+use pgxd_algos::kway::{kway_merge, kway_merge_tagged};
+use pgxd_algos::merge::{balanced_merge, merge_into, parallel_merge_into, sort_chunks_and_merge};
+use pgxd_algos::pquicksort::parallel_quicksort;
+use pgxd_algos::quicksort::{heapsort, quicksort};
+use pgxd_algos::radix::radix_sort;
+use pgxd_algos::search::{lower_bound, upper_bound};
+use pgxd_algos::ssssort::super_scalar_sample_sort;
+use pgxd_algos::timsort::{gallop_left, gallop_right, timsort};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+fn sorted_copy(v: &[u64]) -> Vec<u64> {
+    let mut s = v.to_vec();
+    s.sort();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quicksort_sorts_anything(mut v in pvec(any::<u64>(), 0..2000)) {
+        let expect = sorted_copy(&v);
+        quicksort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn quicksort_heavy_duplicates(mut v in pvec(0u64..4, 0..2000)) {
+        let expect = sorted_copy(&v);
+        quicksort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn heapsort_sorts_anything(mut v in pvec(any::<u64>(), 0..1500)) {
+        let expect = sorted_copy(&v);
+        heapsort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn timsort_sorts_anything(mut v in pvec(any::<u64>(), 0..2000)) {
+        let expect = sorted_copy(&v);
+        timsort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn timsort_sorts_runny_data(
+        runs in pvec(pvec(any::<u64>(), 1..100), 1..20),
+        reverse_mask in any::<u32>(),
+    ) {
+        // Concatenated pre-sorted (possibly reversed) runs — the natural-
+        // run detector's home turf.
+        let mut v = Vec::new();
+        for (i, mut run) in runs.into_iter().enumerate() {
+            run.sort();
+            if reverse_mask >> (i % 32) & 1 == 1 {
+                run.reverse();
+            }
+            v.extend(run);
+        }
+        let expect = sorted_copy(&v);
+        timsort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn insertion_sorts_small(mut v in pvec(any::<u64>(), 0..200)) {
+        let expect = sorted_copy(&v);
+        insertion_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn binary_insertion_respects_sorted_prefix(
+        mut prefix in pvec(any::<u64>(), 0..100),
+        suffix in pvec(any::<u64>(), 0..100),
+    ) {
+        prefix.sort();
+        let sorted_len = prefix.len();
+        let mut v = prefix;
+        v.extend(suffix);
+        let expect = sorted_copy(&v);
+        binary_insertion_sort(&mut v, sorted_len);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn radix_matches_std(v in pvec(any::<u64>(), 0..2000)) {
+        let expect = sorted_copy(&v);
+        let mut got = v;
+        radix_sort(&mut got);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bitonic_matches_std(v in pvec(any::<u64>(), 0..600)) {
+        let expect = sorted_copy(&v);
+        let mut got = v;
+        bitonic_sort_padded(&mut got, u64::MAX);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ssssort_matches_std(v in pvec(any::<u64>(), 0..4000)) {
+        let expect = sorted_copy(&v);
+        prop_assert_eq!(super_scalar_sample_sort(v), expect);
+    }
+
+    #[test]
+    fn ssssort_heavy_duplicates(v in pvec(0u64..3, 0..4000)) {
+        let expect = sorted_copy(&v);
+        prop_assert_eq!(super_scalar_sample_sort(v), expect);
+    }
+
+    #[test]
+    fn parallel_quicksort_matches_std(
+        v in pvec(any::<u64>(), 0..3000),
+        workers in 1usize..9,
+    ) {
+        let expect = sorted_copy(&v);
+        prop_assert_eq!(parallel_quicksort(v, workers), expect);
+    }
+
+    #[test]
+    fn merge_into_merges(mut a in pvec(any::<u64>(), 0..500), mut b in pvec(any::<u64>(), 0..500)) {
+        a.sort();
+        b.sort();
+        let mut out = vec![0u64; a.len() + b.len()];
+        merge_into(&a, &b, &mut out);
+        let mut expect = a.clone();
+        expect.extend(&b);
+        expect.sort();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential(
+        mut a in pvec(any::<u64>(), 0..2000),
+        mut b in pvec(any::<u64>(), 0..2000),
+        workers in 1usize..8,
+    ) {
+        a.sort();
+        b.sort();
+        let mut seq = vec![0u64; a.len() + b.len()];
+        merge_into(&a, &b, &mut seq);
+        let mut par = vec![0u64; a.len() + b.len()];
+        parallel_merge_into(&a, &b, &mut par, workers);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn balanced_merge_of_sorted_runs(
+        mut runs in pvec(pvec(any::<u64>(), 0..300), 1..12),
+        workers in 1usize..5,
+    ) {
+        for r in &mut runs {
+            r.sort();
+        }
+        let mut bounds = vec![0usize];
+        let mut data = Vec::new();
+        for r in &runs {
+            data.extend(r);
+            bounds.push(data.len());
+        }
+        let expect = sorted_copy(&data);
+        prop_assert_eq!(balanced_merge(data, &bounds, workers), expect);
+    }
+
+    #[test]
+    fn sort_chunks_and_merge_matches_std(
+        v in pvec(any::<u64>(), 0..3000),
+        workers in 1usize..7,
+    ) {
+        let expect = sorted_copy(&v);
+        let got = sort_chunks_and_merge(v, workers, |c| c.sort_unstable());
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn kway_merge_matches_std(mut runs in pvec(pvec(any::<u64>(), 0..200), 0..10)) {
+        for r in &mut runs {
+            r.sort();
+        }
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort();
+        prop_assert_eq!(kway_merge(&refs), expect);
+    }
+
+    #[test]
+    fn kway_tagged_provenance_valid(mut runs in pvec(pvec(any::<u64>(), 0..100), 1..8)) {
+        for r in &mut runs {
+            r.sort();
+        }
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let tagged = kway_merge_tagged(&refs);
+        // Each output element exists in its claimed source run, consumed
+        // in order.
+        let mut cursors = vec![0usize; runs.len()];
+        for (value, src) in tagged {
+            prop_assert_eq!(runs[src][cursors[src]], value);
+            cursors[src] += 1;
+        }
+        for (src, c) in cursors.iter().enumerate() {
+            prop_assert_eq!(*c, runs[src].len());
+        }
+    }
+
+    #[test]
+    fn gallops_match_bounds(mut v in pvec(0u64..100, 0..400), key in 0u64..110) {
+        v.sort();
+        prop_assert_eq!(gallop_left(&key, &v), lower_bound(&v, &key));
+        prop_assert_eq!(gallop_right(&key, &v), upper_bound(&v, &key));
+    }
+
+    #[test]
+    fn bounds_match_partition_point(mut v in pvec(0u64..50, 0..300), key in 0u64..55) {
+        v.sort();
+        prop_assert_eq!(lower_bound(&v, &key), v.partition_point(|&x| x < key));
+        prop_assert_eq!(upper_bound(&v, &key), v.partition_point(|&x| x <= key));
+    }
+
+    #[test]
+    fn compare_split_is_order_preserving(
+        mut a in pvec(any::<u64>(), 0..300),
+        mut b in pvec(any::<u64>(), 0..300),
+    ) {
+        a.sort();
+        b.sort();
+        let (lo, hi) = compare_split(&a, &b);
+        prop_assert_eq!(lo.len(), a.len());
+        prop_assert_eq!(hi.len(), b.len());
+        // Partitioned: everything low <= everything high.
+        if let (Some(&lmax), Some(&hmin)) = (lo.last(), hi.first()) {
+            prop_assert!(lmax <= hmin);
+        }
+        // Multiset preserved.
+        let mut merged: Vec<u64> = lo.into_iter().chain(hi).collect();
+        let mut expect: Vec<u64> = a.into_iter().chain(b).collect();
+        merged.sort();
+        expect.sort();
+        prop_assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn timsort_stability(v in pvec(0u32..16, 0..1500)) {
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        struct Tagged(u32, u32);
+        impl PartialOrd for Tagged {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Tagged {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&o.0)
+            }
+        }
+        let mut tagged: Vec<Tagged> = v
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Tagged(k, i as u32))
+            .collect();
+        timsort(&mut tagged);
+        for w in tagged.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Distributed Batcher bitonic sort (§II's first classical baseline).
+//!
+//! Block-bitonic on a hypercube: every machine sorts its block locally,
+//! then runs the `log²p` compare-split schedule, where each step ships the
+//! machine's *entire current block* to its partner — the "often needs to
+//! exchange the entire data assigned to each processor" communication
+//! behaviour the paper criticizes. Requires a power-of-two machine count
+//! and equal block sizes (the classical algorithm's precondition).
+
+use pgxd::machine::MachineCtx;
+use pgxd_algos::bitonic::compare_split;
+use pgxd_algos::merge::sort_chunks_and_merge;
+use pgxd_algos::quicksort::quicksort;
+use pgxd_algos::Key;
+
+/// Step names for the timer.
+pub mod stages {
+    /// Initial local sort.
+    pub const LOCAL_SORT: &str = "bitonic_local_sort";
+    /// All compare-split exchange stages combined.
+    pub const COMPARE_SPLIT: &str = "bitonic_compare_split";
+}
+
+/// Distributed bitonic sort. SPMD.
+///
+/// # Panics
+/// If the machine count is not a power of two, or block sizes differ.
+pub fn bitonic_sort_dist<K: Key>(ctx: &mut MachineCtx, local: Vec<K>) -> Vec<K> {
+    let p = ctx.num_machines();
+    assert!(p.is_power_of_two(), "bitonic needs a power-of-two machine count");
+    let workers = ctx.workers();
+
+    // Equal-block precondition.
+    let sizes = ctx.all_gather(vec![local.len()]);
+    let first = sizes[0][0];
+    assert!(
+        sizes.iter().all(|s| s[0] == first),
+        "bitonic requires equal block sizes per machine"
+    );
+
+    let mut block = ctx.step(stages::LOCAL_SORT, move |_| {
+        sort_chunks_and_merge(local, workers, |c| quicksort(c))
+    });
+
+    if p == 1 {
+        return block;
+    }
+
+    let id = ctx.id();
+    let log_p = p.trailing_zeros();
+    ctx.step(stages::COMPARE_SPLIT, |ctx| {
+        for i in 0..log_p {
+            for j in (0..=i).rev() {
+                let partner = id ^ (1usize << j);
+                // Block direction for this merge stage: ascending when the
+                // (i+1)-th bit of the id is clear. For the final stage that
+                // bit is beyond the id range, so everything merges
+                // ascending — the network's overall output order.
+                let ascending = id & (1usize << (i + 1)) == 0;
+
+                // Ship the whole block both ways (the expensive part).
+                let mut parts: Vec<Vec<K>> = (0..p).map(|_| Vec::new()).collect();
+                parts[partner] = block.clone();
+                let mut received = ctx.all_to_all(parts);
+                let partner_block = std::mem::take(&mut received[partner]);
+
+                // In an ascending pair the lower id keeps the small half.
+                let keep_low = (id < partner) == ascending;
+                let (low, high) = if id < partner {
+                    compare_split(&block, &partner_block)
+                } else {
+                    compare_split(&partner_block, &block)
+                };
+                block = if keep_low { low } else { high };
+            }
+        }
+    });
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd::cluster::{Cluster, ClusterConfig};
+    use pgxd_datagen::{generate_partitioned, Distribution};
+
+    fn run_bitonic(machines: usize, n: usize, dist: Distribution, seed: u64) {
+        let parts = generate_partitioned(dist, n, machines, seed);
+        let mut expect: Vec<u64> = parts.concat();
+        expect.sort_unstable();
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let report = cluster.run(|ctx| bitonic_sort_dist(ctx, parts[ctx.id()].clone()));
+        assert_eq!(report.results.concat(), expect, "p={machines} n={n}");
+    }
+
+    #[test]
+    fn sorts_power_of_two_machines() {
+        for machines in [1usize, 2, 4, 8] {
+            // n divisible by p so blocks are equal.
+            run_bitonic(machines, 8 * 1024, Distribution::Uniform, machines as u64);
+        }
+    }
+
+    #[test]
+    fn sorts_duplicate_heavy() {
+        run_bitonic(4, 8000, Distribution::Exponential, 3);
+        run_bitonic(4, 8000, Distribution::RightSkewed, 4);
+    }
+
+    #[test]
+    // The assertion fires inside the machine threads; the cluster
+    // propagates it as a join failure.
+    #[should_panic(expected = "machine thread panicked")]
+    fn rejects_non_power_of_two() {
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        let _ = cluster.run(|ctx| bitonic_sort_dist(ctx, vec![1u64]));
+    }
+
+    #[test]
+    fn communication_exchanges_whole_blocks() {
+        // Each compare-split ships the full block both directions; with
+        // p = 4 the schedule has 3 stages, so traffic far exceeds the
+        // one-pass traffic a sample sort needs.
+        let machines = 4;
+        let n = 40_000;
+        let parts = generate_partitioned(Distribution::Uniform, n, machines, 5);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let report = cluster.run(|ctx| bitonic_sort_dist(ctx, parts[ctx.id()].clone()));
+        // 3 stages × n keys × 8 bytes of total traffic (every key moves
+        // every stage, both directions count once as sends).
+        assert!(
+            report.comm.bytes_sent >= 3 * (n as u64) * 8,
+            "{:?}",
+            report.comm
+        );
+    }
+}

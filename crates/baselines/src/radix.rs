@@ -1,0 +1,162 @@
+//! Partitioned parallel radix sort (§II's second classical baseline).
+//!
+//! Keys are bucketed by their high-order bits (after shifting off the
+//! globally unused prefix), the global bucket histogram is all-gathered,
+//! buckets are assigned to machines greedily so counts come out as even
+//! as the bucket granularity allows, keys are exchanged, and every machine
+//! finishes with a local LSD radix sort.
+//!
+//! The paper's criticism shows up measurably: when the data is heavily
+//! duplicated, single buckets exceed the ideal per-machine share and no
+//! bucket assignment can balance the load — the harness's ablation bench
+//! demonstrates exactly that.
+
+use pgxd::machine::MachineCtx;
+use pgxd_algos::radix::radix_sort;
+
+/// Step names for the timer.
+pub mod stages {
+    /// Histogram + assignment.
+    pub const HISTOGRAM: &str = "radix_histogram";
+    /// Key exchange.
+    pub const EXCHANGE: &str = "radix_exchange";
+    /// Final local radix sort.
+    pub const LOCAL_SORT: &str = "radix_local_sort";
+}
+
+/// Number of high-order bits used for bucketing (1024 buckets).
+const BUCKET_BITS: u32 = 10;
+const NUM_BUCKETS: usize = 1 << BUCKET_BITS;
+
+/// Distributed radix sort over `u64` keys. SPMD.
+pub fn radix_sort_dist(ctx: &mut MachineCtx, local: Vec<u64>) -> Vec<u64> {
+    let p = ctx.num_machines();
+
+    // --- histogram + bucket→machine assignment --------------------------
+    let (grouped, offsets) = ctx.step(stages::HISTOGRAM, |ctx| {
+        // Shift off the globally unused high bits so bucketing has
+        // resolution even for small-range keys.
+        let local_max = local.iter().copied().max().unwrap_or(0);
+        let global_max = ctx
+            .all_gather(vec![local_max])
+            .into_iter()
+            .map(|v| v[0])
+            .max()
+            .unwrap_or(0);
+        let used_bits = 64 - global_max.leading_zeros();
+        let shift = used_bits.saturating_sub(BUCKET_BITS);
+
+        let mut hist = vec![0u64; NUM_BUCKETS];
+        for &k in &local {
+            hist[(k >> shift) as usize] += 1;
+        }
+        let rows = ctx.all_gather(hist.clone());
+        let mut global = vec![0u64; NUM_BUCKETS];
+        for row in &rows {
+            for (g, &c) in global.iter_mut().zip(row) {
+                *g += c;
+            }
+        }
+        let total: u64 = global.iter().sum();
+        // Greedy contiguous assignment: walk buckets, cut when the running
+        // count reaches the ideal share.
+        let ideal = total as f64 / p as f64;
+        let mut assignment = vec![0usize; NUM_BUCKETS];
+        let mut machine = 0usize;
+        let mut running = 0u64;
+        for (b, &c) in global.iter().enumerate() {
+            assignment[b] = machine;
+            running += c;
+            if (running as f64) >= ideal * (machine + 1) as f64 && machine + 1 < p {
+                machine += 1;
+            }
+        }
+
+        // Group local keys by destination machine (counting sort by
+        // assignment), producing contiguous send ranges.
+        let mut dest_counts = vec![0usize; p];
+        for &k in &local {
+            dest_counts[assignment[(k >> shift) as usize]] += 1;
+        }
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0usize);
+        for d in 0..p {
+            offsets.push(offsets[d] + dest_counts[d]);
+        }
+        let mut cursor = offsets.clone();
+        let mut grouped = vec![0u64; local.len()];
+        for &k in &local {
+            let d = assignment[(k >> shift) as usize];
+            grouped[cursor[d]] = k;
+            cursor[d] += 1;
+        }
+        (grouped, offsets)
+    });
+
+    // --- exchange --------------------------------------------------------
+    let (mut received, _bounds) =
+        ctx.step(stages::EXCHANGE, |ctx| ctx.exchange_by_offsets(&grouped, &offsets));
+    drop(grouped);
+
+    // --- final local sort --------------------------------------------------
+    ctx.step(stages::LOCAL_SORT, |_| radix_sort(&mut received));
+    received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd::cluster::{Cluster, ClusterConfig};
+    use pgxd_datagen::{generate_partitioned, Distribution};
+
+    fn run_radix(machines: usize, dist: Distribution, n: usize, seed: u64) -> Vec<Vec<u64>> {
+        let parts = generate_partitioned(dist, n, machines, seed);
+        let mut expect: Vec<u64> = parts.concat();
+        expect.sort_unstable();
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let report = cluster.run(|ctx| radix_sort_dist(ctx, parts[ctx.id()].clone()));
+        assert_eq!(report.results.concat(), expect, "{} p={machines}", dist.name());
+        report.results
+    }
+
+    #[test]
+    fn sorts_all_distributions() {
+        for dist in Distribution::ALL {
+            run_radix(4, dist, 20_000, 3);
+        }
+    }
+
+    #[test]
+    fn sorts_various_machine_counts() {
+        for machines in [1usize, 2, 3, 5, 8] {
+            run_radix(machines, Distribution::Uniform, 10_000, machines as u64);
+        }
+    }
+
+    #[test]
+    fn uniform_keys_balance_well() {
+        let results = run_radix(4, Distribution::Uniform, 40_000, 7);
+        let sizes: Vec<usize> = results.iter().map(|r| r.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max < min + 40_000 / 8, "{sizes:?}");
+    }
+
+    #[test]
+    fn all_equal_keys_collapse() {
+        // One bucket holds everything: no assignment can split it — the
+        // §II irregularity criticism.
+        let machines = 4;
+        let parts: Vec<Vec<u64>> = (0..machines).map(|_| vec![42u64; 1000]).collect();
+        let cluster = Cluster::new(ClusterConfig::new(machines));
+        let report = cluster.run(|ctx| radix_sort_dist(ctx, parts[ctx.id()].clone()).len());
+        let max = *report.results.iter().max().unwrap();
+        assert_eq!(max, machines * 1000);
+    }
+
+    #[test]
+    fn zero_and_tiny_inputs() {
+        run_radix(3, Distribution::Uniform, 0, 1);
+        run_radix(3, Distribution::Uniform, 2, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-width record codec for the Spark baseline.
+//!
+//! Spark pays (de)serialization at every shuffle boundary; PGX.D moves
+//! native memory. To keep that comparison honest the Spark baseline
+//! round-trips every record through this codec at the map→reduce boundary,
+//! while the PGX.D path ships `Vec<T>` by ownership.
+
+use bytes::{Buf, BufMut};
+
+/// Records with a fixed-width byte encoding whose decoded form compares
+/// like the original.
+pub trait Record: Copy + Ord + Send + Sync + 'static {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one record from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Self;
+}
+
+impl Record for u64 {
+    const WIDTH: usize = 8;
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64_le(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        buf.get_u64_le()
+    }
+}
+
+impl Record for u32 {
+    const WIDTH: usize = 4;
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32_le(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        buf.get_u32_le()
+    }
+}
+
+impl Record for i64 {
+    const WIDTH: usize = 8;
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_i64_le(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        buf.get_i64_le()
+    }
+}
+
+impl Record for (u64, u64) {
+    const WIDTH: usize = 16;
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64_le(self.0);
+        out.put_u64_le(self.1);
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        (buf.get_u64_le(), buf.get_u64_le())
+    }
+}
+
+/// Encodes a slice of records.
+pub fn encode_all<R: Record>(records: &[R]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * R::WIDTH);
+    for r in records {
+        r.encode(&mut out);
+    }
+    out
+}
+
+/// Decodes a whole buffer of records (must be a multiple of the width).
+pub fn decode_all<R: Record>(mut buf: &[u8]) -> Vec<R> {
+    assert_eq!(buf.len() % R::WIDTH, 0, "truncated record buffer");
+    let mut out = Vec::with_capacity(buf.len() / R::WIDTH);
+    while !buf.is_empty() {
+        out.push(R::decode(&mut buf));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = vec![0u64, 1, u64::MAX, 0xdead_beef];
+        assert_eq!(decode_all::<u64>(&encode_all(&v)), v);
+    }
+
+    #[test]
+    fn u32_and_i64_roundtrip() {
+        let v = vec![0u32, 7, u32::MAX];
+        assert_eq!(decode_all::<u32>(&encode_all(&v)), v);
+        let w = vec![-5i64, 0, i64::MAX, i64::MIN];
+        assert_eq!(decode_all::<i64>(&encode_all(&w)), w);
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let v = vec![(1u64, 2u64), (u64::MAX, 0)];
+        assert_eq!(decode_all::<(u64, u64)>(&encode_all(&v)), v);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert!(decode_all::<u64>(&encode_all::<u64>(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_buffer_rejected() {
+        let bytes = encode_all(&[1u64, 2]);
+        let _ = decode_all::<u64>(&bytes[..9]);
+    }
+
+    #[test]
+    fn width_matches_encoding() {
+        let one = encode_all(&[42u64]);
+        assert_eq!(one.len(), <u64 as Record>::WIDTH);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion bench for the DESIGN.md ablations: investigator on/off,
+//! balanced vs k-way final merge, and the distributed baselines
+//! (bitonic, radix) against the PGX.D sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd::cluster::{Cluster, ClusterConfig};
+use pgxd_baselines::bitonic::bitonic_sort_dist;
+use pgxd_baselines::radix::radix_sort_dist;
+use pgxd_bench::runner::{run_pgxd_sort, Workload, DEFAULT_SEED};
+use pgxd_core::SortConfig;
+use pgxd_datagen::{generate_partitioned, Distribution};
+
+fn bench_investigator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_investigator");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let workload = Workload::Dist {
+        dist: Distribution::Exponential,
+        n: 100_000,
+        seed: DEFAULT_SEED,
+    };
+    for inv in [true, false] {
+        group.bench_with_input(BenchmarkId::new("investigator", inv), &inv, |b, &inv| {
+            b.iter(|| run_pgxd_sort(&workload, 8, 2, SortConfig::default().investigator(inv)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_final_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_final_merge");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let workload = Workload::Dist {
+        dist: Distribution::Uniform,
+        n: 100_000,
+        seed: DEFAULT_SEED,
+    };
+    for balanced in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("balanced", balanced),
+            &balanced,
+            |b, &balanced| {
+                b.iter(|| {
+                    run_pgxd_sort(
+                        &workload,
+                        8,
+                        2,
+                        SortConfig::default().balanced_final_merge(balanced),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distributed_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_baselines");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let n = 100_000;
+    let machines = 4; // power of two for bitonic
+    let parts = generate_partitioned(Distribution::Uniform, n, machines, DEFAULT_SEED);
+
+    group.bench_function("pgxd_sample_sort", |b| {
+        let workload = Workload::Dist {
+            dist: Distribution::Uniform,
+            n,
+            seed: DEFAULT_SEED,
+        };
+        b.iter(|| run_pgxd_sort(&workload, machines, 2, SortConfig::default()));
+    });
+    group.bench_function("distributed_bitonic", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+            cluster.run(|ctx| bitonic_sort_dist(ctx, parts[ctx.id()].clone()))
+        });
+    });
+    group.bench_function("distributed_radix", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+            cluster.run(|ctx| radix_sort_dist(ctx, parts[ctx.id()].clone()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_investigator,
+    bench_final_merge,
+    bench_distributed_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Fig. 5: PGX.D total sort time per distribution.
+//!
+//! Sized down for CI/laptops; the `exp fig5` binary runs the full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd_bench::runner::{run_pgxd_sort, Workload, DEFAULT_SEED};
+use pgxd_core::SortConfig;
+use pgxd_datagen::Distribution;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_total_time");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let n = 100_000;
+    for dist in Distribution::ALL {
+        let workload = Workload::Dist {
+            dist,
+            n,
+            seed: DEFAULT_SEED,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pgxd_p8", dist.name()),
+            &workload,
+            |b, w| {
+                b.iter(|| run_pgxd_sort(w, 8, 2, SortConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

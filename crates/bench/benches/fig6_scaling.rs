@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 6: PGX.D vs Spark across machine counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd_bench::runner::{run_pgxd_sort, run_spark_sort, Workload, DEFAULT_SEED};
+use pgxd_core::SortConfig;
+use pgxd_datagen::Distribution;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let workload = Workload::Dist {
+        dist: Distribution::Uniform,
+        n: 100_000,
+        seed: DEFAULT_SEED,
+    };
+    for p in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("pgxd", p), &p, |b, &p| {
+            b.iter(|| run_pgxd_sort(&workload, p, 2, SortConfig::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("spark", p), &p, |b, &p| {
+            b.iter(|| run_spark_sort(&workload, p, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 7: the sort on normal vs right-skewed data
+//! (the per-step breakdown itself is printed by `exp fig7`; this bench
+//! tracks the end-to-end times of the two workloads the figure uses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd_bench::runner::{run_pgxd_sort, Workload, DEFAULT_SEED};
+use pgxd_core::SortConfig;
+use pgxd_datagen::Distribution;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_steps");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for dist in [Distribution::Normal, Distribution::RightSkewed] {
+        let workload = Workload::Dist {
+            dist,
+            n: 100_000,
+            seed: DEFAULT_SEED,
+        };
+        group.bench_with_input(BenchmarkId::new("pgxd_p8", dist.name()), &workload, |b, w| {
+            b.iter(|| run_pgxd_sort(w, 8, 2, SortConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 8: Twitter-like (R-MAT) keys, PGX.D vs Spark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd_bench::runner::{run_pgxd_sort, run_spark_sort, Workload, DEFAULT_SEED};
+use pgxd_core::SortConfig;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_twitter");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let workload = Workload::Twitter {
+        scale: 13,
+        edge_factor: 8,
+        seed: DEFAULT_SEED,
+    };
+    for p in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("pgxd", p), &p, |b, &p| {
+            b.iter(|| run_pgxd_sort(&workload, p, 2, SortConfig::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("spark", p), &p, |b, &p| {
+            b.iter(|| run_spark_sort(&workload, p, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

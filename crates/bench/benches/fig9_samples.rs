@@ -1,0 +1,32 @@
+//! Criterion bench for Figs. 9/10: the sample-size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd_bench::runner::{run_pgxd_sort, Workload, DEFAULT_SEED};
+use pgxd_core::SortConfig;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_samples");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let workload = Workload::Twitter {
+        scale: 13,
+        edge_factor: 8,
+        seed: DEFAULT_SEED,
+    };
+    for factor in [0.004f64, 0.4, 1.0, 1.4] {
+        group.bench_with_input(
+            BenchmarkId::new("pgxd_p8", format!("{factor}X")),
+            &factor,
+            |b, &f| {
+                b.iter(|| {
+                    run_pgxd_sort(&workload, 8, 2, SortConfig::default().sample_factor(f))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

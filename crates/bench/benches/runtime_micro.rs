@@ -1,0 +1,108 @@
+//! Microbenchmarks of the runtime substrate itself: collective latency,
+//! exchange throughput across buffer sizes, and the task manager's
+//! scheduling overhead. These quantify the framework costs the paper's
+//! §III claims PGX.D keeps low.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd::cluster::{Cluster, ClusterConfig};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for p in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("barrier_x100", p), &p, |b, &p| {
+            let cluster = Cluster::new(ClusterConfig::new(p));
+            b.iter(|| {
+                cluster.run(|ctx| {
+                    for _ in 0..100 {
+                        ctx.barrier();
+                    }
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("allgather_1k", p), &p, |b, &p| {
+            let cluster = Cluster::new(ClusterConfig::new(p));
+            b.iter(|| {
+                cluster.run(|ctx| {
+                    let v: Vec<u64> = vec![ctx.id() as u64; 1024];
+                    ctx.all_gather(v)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchange_buffer_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let n_per_machine = 100_000usize;
+    for buffer in [4usize << 10, 64 << 10, 256 << 10] {
+        group.bench_with_input(
+            BenchmarkId::new("p4_100k_each", format!("{}KiB", buffer >> 10)),
+            &buffer,
+            |b, &buffer| {
+                let cluster = Cluster::new(ClusterConfig::new(4).buffer_bytes(buffer));
+                b.iter(|| {
+                    cluster.run(|ctx| {
+                        let data: Vec<u64> =
+                            (0..n_per_machine as u64).map(|i| i + ctx.id() as u64).collect();
+                        // Even split to all machines.
+                        let quarter = n_per_machine / 4;
+                        let offsets: Vec<usize> =
+                            (0..=4).map(|j| j * quarter).collect();
+                        ctx.exchange_by_offsets(&data, &offsets)
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_task_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_manager");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("spawn_and_drain_1k_tasks_w4", |b| {
+        let tm = pgxd::task::TaskManager::new(4);
+        b.iter(|| {
+            let counter = std::sync::atomic::AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..1000)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            tm.run_tasks(tasks);
+            assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 1000);
+        });
+    });
+    group.bench_function("par_chunks_1m_w4", |b| {
+        let tm = pgxd::task::TaskManager::new(4);
+        let mut data: Vec<u64> = (0..1_000_000).collect();
+        b.iter(|| {
+            tm.par_chunks_mut(&mut data, |_, chunk| {
+                for x in chunk.iter_mut() {
+                    *x = x.wrapping_mul(2654435761);
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collectives,
+    bench_exchange_buffer_sizes,
+    bench_task_manager
+);
+criterion_main!(benches);

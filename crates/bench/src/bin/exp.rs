@@ -1,0 +1,651 @@
+//! The experiment harness: one subcommand per table/figure of the paper's
+//! evaluation (§V), plus the DESIGN.md ablations.
+//!
+//! ```text
+//! exp fig5    [--n=N] [--procs=8,16,32,52] [--workers=W] [--seed=S]
+//! exp fig6    [--n=N] [--procs=...] ...
+//! exp fig7    [--n=N] [--procs=P]
+//! exp table2  [--n=N]
+//! exp fig8    [--scale=S] [--ef=E] [--procs=...]
+//! exp table3  [--scale=S] [--ef=E]
+//! exp fig9    [--scale=S] [--ef=E] [--procs=P]
+//! exp fig10   [--scale=S] [--ef=E] [--procs=...]
+//! exp fig11   [--scale=S] [--ef=E]
+//! exp ablation [--n=N] [--procs=P]
+//! exp all     — run everything with defaults
+//! ```
+//!
+//! Every experiment prints a paper-style table and writes raw results to
+//! `results/<name>.json`.
+
+use pgxd_bench::runner::{fmt_secs, run_pgxd_sort, run_spark_sort, ExpResult, Workload};
+use pgxd_bench::table::Table;
+use pgxd_core::{LoadStats, SortConfig};
+use pgxd_datagen::Distribution;
+use std::collections::HashMap;
+
+// Fig. 11 needs heap accounting: install the tracking allocator for the
+// whole harness (negligible overhead for the other experiments).
+#[global_allocator]
+static GLOBAL: pgxd_memtrack::TrackingAlloc = pgxd_memtrack::TrackingAlloc;
+
+/// CLI options with paper-flavoured defaults scaled to a laptop.
+#[derive(Debug, Clone)]
+struct Opts {
+    n: usize,
+    procs: Vec<usize>,
+    workers: usize,
+    seed: u64,
+    scale: u32,
+    edge_factor: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            n: 1_000_000,
+            procs: vec![8, 16, 32, 52],
+            workers: pgxd_bench::DEFAULT_WORKERS,
+            seed: pgxd_bench::DEFAULT_SEED,
+            scale: 17,
+            edge_factor: 8,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts::default();
+    let mut flags: HashMap<String, String> = HashMap::new();
+    for arg in args {
+        if let Some(rest) = arg.strip_prefix("--") {
+            if let Some((k, v)) = rest.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else {
+                eprintln!("ignoring flag without value: {arg} (use --key=value)");
+            }
+        }
+    }
+    if let Some(v) = flags.get("n") {
+        opts.n = v.parse().expect("--n must be an integer");
+    }
+    if let Some(v) = flags.get("procs") {
+        opts.procs = v
+            .split(',')
+            .map(|s| s.trim().parse().expect("--procs must be a comma list"))
+            .collect();
+    }
+    if let Some(v) = flags.get("workers") {
+        opts.workers = v.parse().expect("--workers must be an integer");
+    }
+    if let Some(v) = flags.get("seed") {
+        opts.seed = v.parse().expect("--seed must be an integer");
+    }
+    if let Some(v) = flags.get("scale") {
+        opts.scale = v.parse().expect("--scale must be an integer");
+    }
+    if let Some(v) = flags.get("ef") {
+        opts.edge_factor = v.parse().expect("--ef must be an integer");
+    }
+    opts
+}
+
+fn save_json(name: &str, results: &[ExpResult]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(results) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(raw results → {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+}
+
+fn dist_workload(dist: Distribution, opts: &Opts) -> Workload {
+    Workload::Dist {
+        dist,
+        n: opts.n,
+        seed: opts.seed,
+    }
+}
+
+fn twitter_workload(opts: &Opts) -> Workload {
+    Workload::Twitter {
+        scale: opts.scale,
+        edge_factor: opts.edge_factor,
+        seed: opts.seed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5: PGX.D total execution time, four distributions, proc sweep.
+// ---------------------------------------------------------------------------
+fn fig5(opts: &Opts) {
+    println!("\n=== Fig. 5: PGX.D total sort time by distribution ===");
+    println!("(n = {} keys, {} workers/machine)\n", opts.n, opts.workers);
+    let mut results = Vec::new();
+    let mut table = Table::new(vec![
+        "procs",
+        "uniform",
+        "normal",
+        "right-skewed",
+        "exponential",
+    ]);
+    for &p in &opts.procs {
+        let mut cells = vec![p.to_string()];
+        for dist in Distribution::ALL {
+            let r = run_pgxd_sort(&dist_workload(dist, opts), p, opts.workers, SortConfig::default());
+            assert!(r.ranges_ascending(), "sort output out of order");
+            cells.push(fmt_secs(r.wall_secs));
+            results.push(r);
+        }
+        table.row(cells);
+    }
+    table.print();
+    save_json("fig5", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6: strong scaling, PGX.D vs Spark.
+// ---------------------------------------------------------------------------
+fn fig6(opts: &Opts) {
+    println!(
+        "\n=== Fig. 6: strong scaling, PGX.D vs Spark (uniform, n = {}) ===",
+        opts.n
+    );
+    println!("(speedup columns use the work-scaled model; see EXPERIMENTS.md)\n");
+    let workload = dist_workload(Distribution::Uniform, opts);
+    let mut results = Vec::new();
+    let mut table = Table::new(vec![
+        "procs",
+        "pgxd wall",
+        "spark wall",
+        "spark/pgxd",
+        "pgxd speedup",
+        "spark speedup",
+    ]);
+    let mut base: Option<(f64, f64)> = None;
+    for &p in &opts.procs {
+        let rp = run_pgxd_sort(&workload, p, opts.workers, SortConfig::default());
+        let rs = run_spark_sort(&workload, p, opts.workers);
+        let (bp, bs) = *base.get_or_insert((rp.scaled_time(), rs.scaled_time()));
+        table.row(vec![
+            p.to_string(),
+            fmt_secs(rp.wall_secs),
+            fmt_secs(rs.wall_secs),
+            format!("{:.2}x", rs.wall_secs / rp.wall_secs),
+            format!("{:.2}x", bp / rp.scaled_time()),
+            format!("{:.2}x", bs / rs.scaled_time()),
+        ]);
+        results.push(rp);
+        results.push(rs);
+    }
+    table.print();
+    save_json("fig6", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7: per-step breakdown, normal + right-skewed.
+// ---------------------------------------------------------------------------
+fn fig7(opts: &Opts) {
+    let p = *opts.procs.first().unwrap_or(&8);
+    println!("\n=== Fig. 7: per-step time (p = {p}, n = {}) ===\n", opts.n);
+    let rn = run_pgxd_sort(
+        &dist_workload(Distribution::Normal, opts),
+        p,
+        opts.workers,
+        SortConfig::default(),
+    );
+    let rs = run_pgxd_sort(
+        &dist_workload(Distribution::RightSkewed, opts),
+        p,
+        opts.workers,
+        SortConfig::default(),
+    );
+    let mut table = Table::new(vec!["step", "normal", "right-skewed"]);
+    for (i, step) in pgxd_core::steps::ALL.iter().enumerate() {
+        table.row(vec![
+            step.to_string(),
+            fmt_secs(rn.step_secs[i].1),
+            fmt_secs(rs.step_secs[i].1),
+        ]);
+    }
+    table.print();
+    let total_n: f64 = rn.step_secs.iter().map(|s| s.1).sum();
+    let total_s: f64 = rs.step_secs.iter().map(|s| s.1).sum();
+    println!(
+        "exchange share of step total: normal {:.1}%, right-skewed {:.1}%",
+        100.0 * rn.step_secs[4].1 / total_n,
+        100.0 * rs.step_secs[4].1 / total_s
+    );
+    save_json("fig7", &[rn, rs]);
+}
+
+// ---------------------------------------------------------------------------
+// Table II: per-processor share after sorting, 10 procs, 4 distributions.
+// ---------------------------------------------------------------------------
+fn table2(opts: &Opts) {
+    let p = 10;
+    println!(
+        "\n=== Table II: data share per processor (p = {p}, n = {}) ===\n",
+        opts.n
+    );
+    let mut header = vec!["distribution".to_string()];
+    header.extend((0..p).map(|i| format!("proc{i}")));
+    let mut table = Table::new(header);
+    let mut results = Vec::new();
+    for dist in Distribution::ALL {
+        let r = run_pgxd_sort(&dist_workload(dist, opts), p, opts.workers, SortConfig::default());
+        let mut cells = vec![dist.name().to_string()];
+        cells.extend(r.shares().iter().map(|s| format!("{:.3}%", s * 100.0)));
+        table.row(cells);
+        results.push(r);
+    }
+    table.print();
+    save_json("table2", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8: Twitter-like graph keys, PGX.D vs Spark.
+// ---------------------------------------------------------------------------
+fn fig8(opts: &Opts) {
+    let workload = twitter_workload(opts);
+    println!("\n=== Fig. 8: {} — PGX.D vs Spark ===\n", workload.label());
+    let mut table = Table::new(vec!["procs", "pgxd wall", "spark wall", "spark/pgxd"]);
+    let mut results = Vec::new();
+    for &p in &opts.procs {
+        let rp = run_pgxd_sort(&workload, p, opts.workers, SortConfig::default());
+        let rs = run_spark_sort(&workload, p, opts.workers);
+        table.row(vec![
+            p.to_string(),
+            fmt_secs(rp.wall_secs),
+            fmt_secs(rs.wall_secs),
+            format!("{:.2}x", rs.wall_secs / rp.wall_secs),
+        ]);
+        results.push(rp);
+        results.push(rs);
+    }
+    table.print();
+    save_json("fig8", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Table III: per-processor key ranges on the Twitter-like keys.
+// ---------------------------------------------------------------------------
+fn table3(opts: &Opts) {
+    let workload = twitter_workload(opts);
+    println!(
+        "\n=== Table III: key range per processor ({}) ===\n",
+        workload.label()
+    );
+    let mut results = Vec::new();
+    for p in [8usize, 12, 16] {
+        let r = run_pgxd_sort(&workload, p, opts.workers, SortConfig::default());
+        assert!(r.ranges_ascending(), "ranges must ascend with machine id");
+        println!("p = {p}:");
+        let mut table = Table::new(vec!["proc", "range"]);
+        for (m, range) in r.ranges.iter().enumerate() {
+            let cell = match range {
+                Some((lo, hi)) => format!("{lo} - {hi}"),
+                None => "(empty)".to_string(),
+            };
+            table.row(vec![format!("proc{m}"), cell]);
+        }
+        table.print();
+        println!();
+        results.push(r);
+    }
+    save_json("table3", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9: sample-size sweep — communication overhead and total time.
+// ---------------------------------------------------------------------------
+const FIG9_FACTORS: [f64; 7] = [0.004, 0.04, 0.4, 1.0, 1.004, 1.04, 1.4];
+
+fn fig9(opts: &Opts) {
+    let p = *opts.procs.get(1).unwrap_or(&16);
+    let workload = twitter_workload(opts);
+    println!(
+        "\n=== Fig. 9: sample-size sweep on {} (p = {p}, X = 256KiB/p) ===\n",
+        workload.label()
+    );
+    let mut table = Table::new(vec![
+        "factor",
+        "comm bytes",
+        "hotspot recv",
+        "bottleneck comm",
+        "total wall",
+        "load diff",
+    ]);
+    let mut results = Vec::new();
+    for f in FIG9_FACTORS {
+        let r = run_pgxd_sort(
+            &workload,
+            p,
+            opts.workers,
+            SortConfig::default().sample_factor(f),
+        );
+        table.row(vec![
+            format!("{f}X"),
+            format!("{}", r.comm_bytes),
+            format!("{}", r.max_recv_bytes),
+            fmt_secs(r.bottleneck_comm_secs),
+            fmt_secs(r.wall_secs),
+            r.load_difference().to_string(),
+        ]);
+        results.push(r);
+    }
+    table.print();
+    save_json("fig9", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10: min/max load vs sample size across proc counts.
+// ---------------------------------------------------------------------------
+fn fig10(opts: &Opts) {
+    let workload = twitter_workload(opts);
+    println!(
+        "\n=== Fig. 10: per-processor load vs sample size ({}) ===\n",
+        workload.label()
+    );
+    let mut table = Table::new(vec!["procs", "factor", "min load", "max load", "diff"]);
+    let mut results = Vec::new();
+    for &p in &opts.procs {
+        for f in [0.004, 1.0, 1.4] {
+            let r = run_pgxd_sort(
+                &workload,
+                p,
+                opts.workers,
+                SortConfig::default().sample_factor(f),
+            );
+            let stats = LoadStats::new(r.sizes.clone());
+            table.row(vec![
+                p.to_string(),
+                format!("{f}X"),
+                stats.min().to_string(),
+                stats.max().to_string(),
+                stats.load_difference().to_string(),
+            ]);
+            results.push(r);
+        }
+    }
+    table.print();
+    save_json("fig10", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11: memory consumption (retained + temporary) vs procs.
+// ---------------------------------------------------------------------------
+fn fig11(opts: &Opts) {
+    let workload = twitter_workload(opts);
+    println!("\n=== Fig. 11: memory consumption ({}) ===\n", workload.label());
+    let mut table = Table::new(vec![
+        "procs",
+        "input bytes",
+        "retained (RSS-like)",
+        "temporary",
+        "peak above start",
+    ]);
+    let mut results = Vec::new();
+    for &p in &[4usize, 8, 12, 16, 20] {
+        // Generate outside the region so only sort-time memory is counted.
+        let parts = workload.generate(p);
+        let input_bytes: usize = parts.iter().map(|v| v.len() * 8).sum();
+        let region = pgxd_memtrack::MemRegion::new();
+        let report = {
+            use pgxd::cluster::{Cluster, ClusterConfig};
+            use pgxd_core::DistSorter;
+            let cluster = Cluster::new(ClusterConfig::new(p).workers_per_machine(opts.workers));
+            let sorter = DistSorter::default();
+            cluster.run(|ctx| {
+                let local = parts[ctx.id()].clone();
+                sorter.sort(ctx, local).len()
+            })
+        };
+        let stats = region.finish();
+        table.row(vec![
+            p.to_string(),
+            pgxd_memtrack::fmt_bytes(input_bytes),
+            pgxd_memtrack::fmt_bytes(stats.retained()),
+            pgxd_memtrack::fmt_bytes(stats.temporary()),
+            pgxd_memtrack::fmt_bytes(stats.peak_above_start()),
+        ]);
+        let total: usize = report.results.iter().sum();
+        assert_eq!(total * 8, input_bytes, "sort must conserve elements");
+        results.push(ExpResult {
+            system: "pgxd".into(),
+            workload: workload.label(),
+            sample_factor: 1.0,
+            machines: p,
+            workers: opts.workers,
+            total_keys: total,
+            wall_secs: report.wall_time.as_secs_f64(),
+            step_secs: vec![
+                ("retained_bytes".into(), stats.retained() as f64),
+                ("temporary_bytes".into(), stats.temporary() as f64),
+                ("peak_bytes".into(), stats.peak_above_start() as f64),
+            ],
+            comm_bytes: report.comm.bytes_sent,
+            comm_messages: report.comm.messages_sent,
+            modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
+            max_recv_bytes: report.comm.max_recv_bytes,
+            bottleneck_comm_secs: report.comm.bottleneck_wire_time.as_secs_f64(),
+            sizes: vec![],
+            ranges: vec![],
+        });
+    }
+    table.print();
+    save_json("fig11", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Ablations called out in DESIGN.md.
+// ---------------------------------------------------------------------------
+fn ablation(opts: &Opts) {
+    let p = *opts.procs.first().unwrap_or(&8);
+    println!("\n=== Ablations (p = {p}, n = {}) ===\n", opts.n);
+    let mut results = Vec::new();
+
+    println!("--- investigator on/off (load difference on duplicate-heavy data) ---");
+    let mut t1 = Table::new(vec![
+        "distribution",
+        "investigator",
+        "min",
+        "max",
+        "diff",
+        "wall",
+    ]);
+    for dist in [Distribution::RightSkewed, Distribution::Exponential] {
+        for inv in [true, false] {
+            let r = run_pgxd_sort(
+                &dist_workload(dist, opts),
+                p,
+                opts.workers,
+                SortConfig::default().investigator(inv),
+            );
+            let stats = LoadStats::new(r.sizes.clone());
+            t1.row(vec![
+                dist.name().to_string(),
+                inv.to_string(),
+                stats.min().to_string(),
+                stats.max().to_string(),
+                stats.load_difference().to_string(),
+                fmt_secs(r.wall_secs),
+            ]);
+            results.push(r);
+        }
+    }
+    t1.print();
+
+    println!("\n--- balanced merge vs sequential k-way final merge ---");
+    let mut t2 = Table::new(vec!["final merge", "wall", "final_merge step"]);
+    for balanced in [true, false] {
+        let r = run_pgxd_sort(
+            &dist_workload(Distribution::Uniform, opts),
+            p,
+            opts.workers,
+            SortConfig::default().balanced_final_merge(balanced),
+        );
+        t2.row(vec![
+            if balanced {
+                "balanced (Fig. 2)"
+            } else {
+                "sequential k-way"
+            }
+            .to_string(),
+            fmt_secs(r.wall_secs),
+            fmt_secs(r.step_secs[5].1),
+        ]);
+        results.push(r);
+    }
+    t2.print();
+
+    println!("\n--- buffer-sized sampling vs tiny fixed sample count ---");
+    let mut t3 = Table::new(vec!["sampling", "load diff", "comm bytes", "wall"]);
+    for (label, cfg) in [
+        ("buffer-sized X", SortConfig::default()),
+        ("fixed 4/machine", SortConfig::default().fixed_samples(4)),
+    ] {
+        let r = run_pgxd_sort(
+            &dist_workload(Distribution::RightSkewed, opts),
+            p,
+            opts.workers,
+            cfg,
+        );
+        t3.row(vec![
+            label.to_string(),
+            r.load_difference().to_string(),
+            r.comm_bytes.to_string(),
+            fmt_secs(r.wall_secs),
+        ]);
+        results.push(r);
+    }
+    t3.print();
+    save_json("ablation", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-size ablation: the §IV-B claim that 256 KiB is a good buffer.
+// ---------------------------------------------------------------------------
+fn buffer_sweep(opts: &Opts) {
+    let p = *opts.procs.first().unwrap_or(&8);
+    println!(
+        "\n=== Buffer-size sweep (p = {p}, n = {}) — §IV-B's 256 KiB choice ===\n",
+        opts.n
+    );
+    let workload = dist_workload(Distribution::Uniform, opts);
+    let mut table = Table::new(vec!["buffer", "messages", "comm bytes", "wall"]);
+    let mut results = Vec::new();
+    for buffer in [4usize << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let r = pgxd_bench::runner::run_pgxd_sort_buf(
+            &workload,
+            p,
+            opts.workers,
+            SortConfig::default(),
+            buffer,
+        );
+        table.row(vec![
+            pgxd_memtrack::fmt_bytes(buffer),
+            r.comm_messages.to_string(),
+            r.comm_bytes.to_string(),
+            fmt_secs(r.wall_secs),
+        ]);
+        results.push(r);
+    }
+    table.print();
+    println!(
+        "(smaller buffers multiply packet count; beyond 256 KiB the message\n\
+         count stops falling — the paper's tuning plateau)"
+    );
+    save_json("buffer", &results);
+}
+
+// ---------------------------------------------------------------------------
+// Environment report (our analogue of the paper's Table I).
+// ---------------------------------------------------------------------------
+fn env_report(opts: &Opts) {
+    println!("\n=== Simulation environment (cf. paper Table I) ===\n");
+    let mut table = Table::new(vec!["item", "paper", "this harness"]);
+    table.row(vec![
+        "machines".to_string(),
+        "32 physical nodes".into(),
+        format!("{:?} simulated (thread groups, one process)", opts.procs),
+    ]);
+    table.row(vec![
+        "cpu".to_string(),
+        "2x Xeon E5-2660, 16 cores".into(),
+        format!(
+            "{} host core(s); {} workers per simulated machine",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            opts.workers
+        ),
+    ]);
+    table.row(vec![
+        "network".to_string(),
+        "Mellanox 56 Gb/s IB".into(),
+        "in-process channels + 56 Gb/s wire-time model".to_string(),
+    ]);
+    table.row(vec![
+        "buffer".to_string(),
+        "256 KiB read buffer".into(),
+        format!("{} (configurable)", pgxd_memtrack::fmt_bytes(pgxd::DEFAULT_BUFFER_BYTES)),
+    ]);
+    table.row(vec![
+        "dataset".to_string(),
+        "10^9 keys / Twitter 25 GB".into(),
+        format!(
+            "{} keys (--n), R-MAT scale {} x ef {} (--scale/--ef)",
+            opts.n, opts.scale, opts.edge_factor
+        ),
+    ]);
+    table.print();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let opts = parse_opts(&args[1.min(args.len())..]);
+
+    match cmd {
+        "fig5" => fig5(&opts),
+        "fig6" => fig6(&opts),
+        "fig7" => fig7(&opts),
+        "table2" => table2(&opts),
+        "fig8" => fig8(&opts),
+        "table3" => table3(&opts),
+        "fig9" => fig9(&opts),
+        "fig10" => fig10(&opts),
+        "fig11" => fig11(&opts),
+        "ablation" => ablation(&opts),
+        "buffer" => buffer_sweep(&opts),
+        "env" => env_report(&opts),
+        "all" => {
+            env_report(&opts);
+            fig5(&opts);
+            fig6(&opts);
+            fig7(&opts);
+            table2(&opts);
+            fig8(&opts);
+            table3(&opts);
+            fig9(&opts);
+            fig10(&opts);
+            fig11(&opts);
+            ablation(&opts);
+            buffer_sweep(&opts);
+        }
+        _ => {
+            eprintln!(
+                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|all> \
+                 [--n=N] [--procs=8,16,32,52] [--workers=W] [--seed=S] [--scale=S] [--ef=E]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

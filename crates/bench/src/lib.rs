@@ -1,0 +1,30 @@
+//! Experiment harness shared by the `exp` binary and the Criterion
+//! benches.
+//!
+//! One function per experiment family, each returning structured results
+//! ([`ExpResult`]) that the binary renders as paper-style tables and
+//! writes to `results/*.json`.
+//!
+//! ## Timing on small hosts
+//!
+//! The paper ran 32 real machines; this harness simulates machines as
+//! thread groups on one host. Where the host has fewer cores than
+//! simulated machines, measured wall time cannot show strong scaling
+//! (all "machines" share the same silicon), so every result carries:
+//!
+//! - `wall_time` — honest measured wall time of the whole run;
+//! - `modeled_comm_time` — wire time the Table I network model charges
+//!   for the observed traffic;
+//! - [`ExpResult::scaled_time`] — `wall_time / p + modeled_comm_time`, a
+//!   perfect-overlap scaling model used *only* for the shape of the
+//!   Fig. 6 scaling curves (documented in EXPERIMENTS.md).
+//!
+//! Comparative claims (PGX.D vs Spark at the same `p`) always use
+//! measured wall time.
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{
+    run_pgxd_sort, run_spark_sort, ExpResult, Workload, DEFAULT_SEED, DEFAULT_WORKERS,
+};

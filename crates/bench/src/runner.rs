@@ -1,0 +1,307 @@
+//! Experiment execution: generate a workload, run a sorter on a simulated
+//! cluster, collect timing/communication/load results.
+
+use pgxd::cluster::{Cluster, ClusterConfig};
+use pgxd_baselines::SparkEngine;
+use pgxd_core::{DistSorter, SortConfig};
+use pgxd_datagen::{generate_partitioned, partition_even, twitter_like_keys, Distribution};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Seed used by every experiment unless overridden.
+pub const DEFAULT_SEED: u64 = 20170529; // IPPS 2017 kickoff, why not
+
+/// Default worker threads per simulated machine.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// What data a run sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// `n` keys from one of the Fig. 4 distributions.
+    Dist {
+        /// Which distribution.
+        dist: Distribution,
+        /// Total keys across the cluster.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// R-MAT edge-destination keys (the Twitter stand-in, Fig. 8).
+    Twitter {
+        /// log2 vertex count.
+        scale: u32,
+        /// Edges per vertex.
+        edge_factor: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Workload {
+    /// Human-readable label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Dist { dist, n, .. } => format!("{} (n={n})", dist.name()),
+            Workload::Twitter { scale, edge_factor, .. } => {
+                format!("twitter-like (rmat s={scale} ef={edge_factor})")
+            }
+        }
+    }
+
+    /// Materializes the per-machine input shards.
+    pub fn generate(&self, machines: usize) -> Vec<Vec<u64>> {
+        match *self {
+            Workload::Dist { dist, n, seed } => generate_partitioned(dist, n, machines, seed),
+            Workload::Twitter { scale, edge_factor, seed } => {
+                let keys = twitter_like_keys(scale, edge_factor, seed);
+                partition_even(&keys, machines)
+            }
+        }
+    }
+}
+
+/// Everything one run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpResult {
+    /// Which sorter ("pgxd" or "spark").
+    pub system: String,
+    /// Workload label (distribution + size, or twitter config).
+    pub workload: String,
+    /// Sample-size factor used (PGX.D only; 1.0 = the paper's X rule).
+    pub sample_factor: f64,
+    /// Machine count.
+    pub machines: usize,
+    /// Worker threads per machine.
+    pub workers: usize,
+    /// Total keys sorted.
+    pub total_keys: usize,
+    /// Measured wall time of the cluster run, seconds.
+    pub wall_secs: f64,
+    /// Per-step wall time (max across machines), seconds, in step order.
+    pub step_secs: Vec<(String, f64)>,
+    /// Bytes the fabric carried.
+    pub comm_bytes: u64,
+    /// Packets the fabric carried.
+    pub comm_messages: u64,
+    /// Wire time the network model charges for the aggregate traffic,
+    /// seconds.
+    pub modeled_comm_secs: f64,
+    /// Bytes addressed to the most-loaded receiver (hotspot view).
+    pub max_recv_bytes: u64,
+    /// Wire time of the hotspot receiver's inbound link, seconds — the
+    /// Fig. 9 communication-overhead metric (bad splitters overload one
+    /// link even when aggregate volume is unchanged).
+    pub bottleneck_comm_secs: f64,
+    /// Final element count per machine (load balance).
+    pub sizes: Vec<usize>,
+    /// Final `(min, max)` key per machine (`None` = empty machine).
+    pub ranges: Vec<Option<(u64, u64)>>,
+}
+
+impl ExpResult {
+    /// Perfect-overlap scaling model for Fig. 6 shape on small hosts:
+    /// `wall / p + modeled_comm`. See the crate docs.
+    pub fn scaled_time(&self) -> f64 {
+        self.wall_secs / self.machines as f64 + self.modeled_comm_secs
+    }
+
+    /// Per-machine shares of the total (Table II).
+    pub fn shares(&self) -> Vec<f64> {
+        pgxd_core::LoadStats::new(self.sizes.clone()).shares()
+    }
+
+    /// Max − min load (Fig. 10).
+    pub fn load_difference(&self) -> usize {
+        pgxd_core::LoadStats::new(self.sizes.clone()).load_difference()
+    }
+
+    /// Sorted-output sanity: ranges ascend with machine id.
+    pub fn ranges_ascending(&self) -> bool {
+        pgxd_core::RangeStats::new(self.ranges.clone()).is_ascending()
+    }
+}
+
+fn durations_to_secs(steps: &pgxd::StepReport, names: &[&'static str]) -> Vec<(String, f64)> {
+    names
+        .iter()
+        .map(|&n| (n.to_string(), steps.max_across_machines(n).as_secs_f64()))
+        .collect()
+}
+
+/// Runs the PGX.D distributed sort on `workload` and collects results.
+pub fn run_pgxd_sort(
+    workload: &Workload,
+    machines: usize,
+    workers: usize,
+    config: SortConfig,
+) -> ExpResult {
+    run_pgxd_sort_buf(workload, machines, workers, config, pgxd::DEFAULT_BUFFER_BYTES)
+}
+
+/// [`run_pgxd_sort`] with an explicit data-manager buffer size — the
+/// §IV-B 256 KiB tuning ablation.
+pub fn run_pgxd_sort_buf(
+    workload: &Workload,
+    machines: usize,
+    workers: usize,
+    config: SortConfig,
+    buffer_bytes: usize,
+) -> ExpResult {
+    let parts = workload.generate(machines);
+    let total_keys = parts.iter().map(|p| p.len()).sum();
+    let cluster = Cluster::new(
+        ClusterConfig::new(machines)
+            .workers_per_machine(workers)
+            .buffer_bytes(buffer_bytes),
+    );
+    let sorter = DistSorter::new(config);
+    let report = cluster.run(|ctx| {
+        let local = parts[ctx.id()].clone();
+        let part = sorter.sort(ctx, local);
+        (part.len(), part.range().map(|(a, b)| (*a, *b)))
+    });
+    ExpResult {
+        system: "pgxd".into(),
+        workload: workload.label(),
+        sample_factor: config.sample_factor,
+        machines,
+        workers,
+        total_keys,
+        wall_secs: report.wall_time.as_secs_f64(),
+        step_secs: durations_to_secs(&report.steps, &pgxd_core::steps::ALL),
+        comm_bytes: report.comm.bytes_sent,
+        comm_messages: report.comm.messages_sent,
+        modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
+        max_recv_bytes: report.comm.max_recv_bytes,
+        bottleneck_comm_secs: report.comm.bottleneck_wire_time.as_secs_f64(),
+        sizes: report.results.iter().map(|r| r.0).collect(),
+        ranges: report.results.iter().map(|r| r.1).collect(),
+    }
+}
+
+/// Runs the Spark-sim `sortByKey` on `workload` and collects results.
+pub fn run_spark_sort(workload: &Workload, machines: usize, workers: usize) -> ExpResult {
+    let parts = workload.generate(machines);
+    let total_keys = parts.iter().map(|p| p.len()).sum();
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(workers));
+    let engine = SparkEngine::default();
+    let report = cluster.run(|ctx| {
+        let local = parts[ctx.id()].clone();
+        let out = engine.sort_by_key(ctx, local);
+        let range = out
+            .data
+            .first()
+            .map(|lo| (*lo, *out.data.last().unwrap()));
+        (out.data.len(), range)
+    });
+    ExpResult {
+        system: "spark".into(),
+        workload: workload.label(),
+        sample_factor: 0.0,
+        machines,
+        workers,
+        total_keys,
+        wall_secs: report.wall_time.as_secs_f64(),
+        step_secs: durations_to_secs(&report.steps, &pgxd_baselines::spark::stages::ALL),
+        comm_bytes: report.comm.bytes_sent,
+        comm_messages: report.comm.messages_sent,
+        modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
+        max_recv_bytes: report.comm.max_recv_bytes,
+        bottleneck_comm_secs: report.comm.bottleneck_wire_time.as_secs_f64(),
+        sizes: report.results.iter().map(|r| r.0).collect(),
+        ranges: report.results.iter().map(|r| r.1).collect(),
+    }
+}
+
+/// Format a `Duration`-in-seconds compactly for tables.
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
+/// Convenience duration conversion.
+pub fn to_secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgxd_run_produces_consistent_result() {
+        let workload = Workload::Dist {
+            dist: Distribution::Uniform,
+            n: 10_000,
+            seed: 1,
+        };
+        let r = run_pgxd_sort(&workload, 4, 1, SortConfig::default());
+        assert_eq!(r.total_keys, 10_000);
+        assert_eq!(r.sizes.iter().sum::<usize>(), 10_000);
+        assert!(r.ranges_ascending());
+        assert_eq!(r.step_secs.len(), 6);
+        assert!(r.wall_secs > 0.0);
+        let shares: f64 = r.shares().iter().sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spark_run_produces_consistent_result() {
+        let workload = Workload::Dist {
+            dist: Distribution::Normal,
+            n: 10_000,
+            seed: 2,
+        };
+        let r = run_spark_sort(&workload, 3, 1);
+        assert_eq!(r.sizes.iter().sum::<usize>(), 10_000);
+        assert!(r.ranges_ascending());
+        assert_eq!(r.step_secs.len(), 3);
+    }
+
+    #[test]
+    fn twitter_workload_generates() {
+        let workload = Workload::Twitter {
+            scale: 10,
+            edge_factor: 4,
+            seed: 3,
+        };
+        let parts = workload.generate(4);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 1024 * 4);
+        let r = run_pgxd_sort(&workload, 4, 1, SortConfig::default());
+        assert!(r.ranges_ascending());
+    }
+
+    #[test]
+    fn scaled_time_decreases_with_p_for_same_wall() {
+        let mk = |p: usize| ExpResult {
+            system: "pgxd".into(),
+            workload: "synthetic".into(),
+            sample_factor: 1.0,
+            machines: p,
+            workers: 1,
+            total_keys: 0,
+            wall_secs: 10.0,
+            step_secs: vec![],
+            comm_bytes: 0,
+            comm_messages: 0,
+            modeled_comm_secs: 0.1,
+            max_recv_bytes: 0,
+            bottleneck_comm_secs: 0.0,
+            sizes: vec![],
+            ranges: vec![],
+        };
+        assert!(mk(8).scaled_time() > mk(16).scaled_time());
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(0.0000005), "0.5µs");
+    }
+}

@@ -1,0 +1,224 @@
+//! A distributed vector facade — the user-level handle §III promises
+//! ("user can also easily sort data of their multiple graphs … retrieving
+//! top values from their graph data or implementing binary search on the
+//! sorted data"), wrapping one machine's shard plus the collective
+//! queries over the whole.
+//!
+//! SPMD like everything else: every machine holds its own [`DistVec`] and
+//! all machines must make the same sequence of collective calls.
+
+use crate::api;
+use crate::sorter::{DistSorter, SortedPartition};
+use pgxd::machine::MachineCtx;
+use pgxd_algos::Key;
+
+/// One machine's handle on a cluster-wide vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistVec<K> {
+    local: Vec<K>,
+    /// Set after a successful [`DistVec::sort`]; rank/range queries
+    /// require it.
+    sorted: bool,
+    /// Splitters from the last sort (empty before sorting).
+    splitters: Vec<K>,
+}
+
+impl<K: Key> DistVec<K> {
+    /// Wraps this machine's shard of an unsorted distributed vector.
+    pub fn from_local(local: Vec<K>) -> Self {
+        DistVec {
+            local,
+            sorted: false,
+            splitters: Vec::new(),
+        }
+    }
+
+    /// Adopts an already-sorted partition (e.g. from
+    /// [`DistSorter::sort`]).
+    pub fn from_sorted(part: SortedPartition<K>) -> Self {
+        DistVec {
+            local: part.data,
+            sorted: true,
+            splitters: part.splitters,
+        }
+    }
+
+    /// This machine's shard.
+    pub fn local(&self) -> &[K] {
+        &self.local
+    }
+
+    /// Number of elements on this machine.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// `true` once globally sorted.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Collective: total elements across the cluster.
+    pub fn global_len(&self, ctx: &mut MachineCtx) -> usize {
+        ctx.all_gather(vec![self.local.len()])
+            .into_iter()
+            .map(|v| v[0])
+            .sum()
+    }
+
+    /// Collective: sorts the distributed vector in place (every machine's
+    /// shard is replaced by its slice of the global order).
+    pub fn sort(&mut self, ctx: &mut MachineCtx, sorter: &DistSorter) {
+        let data = std::mem::take(&mut self.local);
+        let part = sorter.sort(ctx, data);
+        self.local = part.data;
+        self.splitters = part.splitters;
+        self.sorted = true;
+    }
+
+    /// Collective: global minimum (None when empty). Works unsorted.
+    pub fn global_min(&self, ctx: &mut MachineCtx) -> Option<K> {
+        let mine = self.local.iter().copied().min();
+        ctx.all_gather(vec![mine]).into_iter().flat_map(|v| v[0]).min()
+    }
+
+    /// Collective: global maximum (None when empty). Works unsorted.
+    pub fn global_max(&self, ctx: &mut MachineCtx) -> Option<K> {
+        let mine = self.local.iter().copied().max();
+        ctx.all_gather(vec![mine]).into_iter().flat_map(|v| v[0]).max()
+    }
+
+    /// Collective: the element at global rank `rank` of the sorted order.
+    ///
+    /// # Panics
+    /// If the vector has not been sorted yet.
+    pub fn get_rank(&self, ctx: &mut MachineCtx, rank: usize) -> Option<K> {
+        let part = self.as_partition();
+        api::select_rank(ctx, &part, rank)
+    }
+
+    /// Collective: how many elements are `< key` and `<= key` globally
+    /// (the distributed binary search).
+    ///
+    /// # Panics
+    /// If the vector has not been sorted yet.
+    pub fn rank_of(&self, ctx: &mut MachineCtx, key: &K) -> (usize, usize) {
+        let part = self.as_partition();
+        api::global_rank(ctx, &part, key)
+    }
+
+    /// Collective: `true` if `key` exists anywhere in the vector.
+    ///
+    /// # Panics
+    /// If the vector has not been sorted yet.
+    pub fn contains(&self, ctx: &mut MachineCtx, key: &K) -> bool {
+        let (lo, hi) = self.rank_of(ctx, key);
+        hi > lo
+    }
+
+    /// Collective: the `k` largest elements, on the master (None
+    /// elsewhere).
+    ///
+    /// # Panics
+    /// If the vector has not been sorted yet.
+    pub fn top_k(&self, ctx: &mut MachineCtx, k: usize) -> Option<Vec<K>> {
+        let part = self.as_partition();
+        api::top_k(ctx, &part, k)
+    }
+
+    /// Collective: gathers the whole vector onto the master in global
+    /// order (None elsewhere). Only sensible for small results.
+    ///
+    /// # Panics
+    /// If the vector has not been sorted yet (unsorted shards have no
+    /// meaningful global order to concatenate).
+    pub fn collect_to_master(&self, ctx: &mut MachineCtx) -> Option<Vec<K>> {
+        assert!(self.sorted, "collect_to_master requires a sorted DistVec");
+        ctx.gather_to_master(self.local.clone())
+            .map(|parts| parts.concat())
+    }
+
+    fn as_partition(&self) -> SortedPartition<K> {
+        assert!(self.sorted, "operation requires a sorted DistVec");
+        SortedPartition {
+            data: self.local.clone(),
+            splitters: self.splitters.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd::cluster::{Cluster, ClusterConfig};
+    use pgxd_datagen::{generate_partitioned, Distribution};
+
+    #[test]
+    fn full_lifecycle() {
+        let machines = 4;
+        let parts = generate_partitioned(Distribution::Uniform, 8000, machines, 61);
+        let mut flat: Vec<u64> = parts.concat();
+        flat.sort_unstable();
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let parts_ref = &parts;
+        let flat_ref = &flat;
+        let report = cluster.run(|ctx| {
+            let mut dv = DistVec::from_local(parts_ref[ctx.id()].clone());
+            assert!(!dv.is_sorted());
+            assert_eq!(dv.global_len(ctx), 8000);
+            assert_eq!(dv.global_min(ctx), Some(flat_ref[0]));
+            assert_eq!(dv.global_max(ctx), Some(*flat_ref.last().unwrap()));
+
+            dv.sort(ctx, &sorter);
+            assert!(dv.is_sorted());
+
+            let median = dv.get_rank(ctx, 4000).unwrap();
+            let (lo, hi) = dv.rank_of(ctx, &median);
+            assert!(lo <= 4000 && 4000 < hi.max(lo + 1));
+            assert!(dv.contains(ctx, &median));
+            assert!(!dv.contains(ctx, &u64::MAX));
+
+            let top = dv.top_k(ctx, 3);
+            let all = dv.collect_to_master(ctx);
+            (median, top, all)
+        });
+        let (median, top, all) = &report.results[0];
+        assert_eq!(*median, flat[4000]);
+        assert_eq!(top.as_ref().unwrap()[0], *flat.last().unwrap());
+        assert_eq!(all.as_ref().unwrap(), &flat);
+        // Non-masters got None for master-rooted queries.
+        assert!(report.results[1].1.is_none());
+        assert!(report.results[1].2.is_none());
+    }
+
+    #[test]
+    fn from_sorted_adopts_partition() {
+        let machines = 2;
+        let parts = generate_partitioned(Distribution::Normal, 2000, machines, 63);
+        let cluster = Cluster::new(ClusterConfig::new(machines));
+        let sorter = DistSorter::default();
+        let parts_ref = &parts;
+        let report = cluster.run(|ctx| {
+            let part = sorter.sort(ctx, parts_ref[ctx.id()].clone());
+            let dv = DistVec::from_sorted(part);
+            assert!(dv.is_sorted());
+            dv.global_len(ctx)
+        });
+        assert!(report.results.iter().all(|&n| n == 2000));
+    }
+
+    #[test]
+    fn empty_distvec_queries() {
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let mut dv = DistVec::from_local(Vec::<u64>::new());
+            assert_eq!(dv.global_len(ctx), 0);
+            assert_eq!(dv.global_min(ctx), None);
+            dv.sort(ctx, &sorter);
+            dv.get_rank(ctx, 0)
+        });
+        assert!(report.results.iter().all(|r| r.is_none()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Regular sampling and splitter selection (§IV steps 2–3).
+//!
+//! Each machine picks evenly spaced samples from its *sorted* local data
+//! and sends them to the master; the master merges the `p` sorted sample
+//! runs (loser tree) and picks `p − 1` splitters at regular positions of
+//! the merged sequence. Sample *quantity* follows the buffer-sized rule in
+//! [`SortConfig`](crate::config::SortConfig).
+
+use pgxd_algos::kway::kway_merge;
+use pgxd_algos::Key;
+
+/// Picks `count` evenly spaced samples from sorted `data`. Returns fewer
+/// (possibly zero) when the data is shorter than requested.
+pub fn select_regular_samples<K: Key>(data: &[K], count: usize) -> Vec<K> {
+    let n = data.len();
+    let count = count.min(n);
+    if count == 0 {
+        return Vec::new();
+    }
+    // Positions (i+1)·n/(count+1): interior points, never index n.
+    (0..count).map(|i| data[(i + 1) * n / (count + 1)]).collect()
+}
+
+/// Master-side: merges the per-machine sorted sample runs and selects the
+/// `p − 1` final splitters at regular positions. Empty when there are no
+/// samples at all (degenerate tiny inputs) — the partitioner then routes
+/// everything to machine 0.
+pub fn select_splitters<K: Key>(sample_runs: &[Vec<K>], p: usize) -> Vec<K> {
+    let refs: Vec<&[K]> = sample_runs.iter().map(|r| r.as_slice()).collect();
+    let merged = kway_merge(&refs);
+    let m = merged.len();
+    if m == 0 || p <= 1 {
+        return Vec::new();
+    }
+    // Position (j+1)·m/p for the j-th splitter; strictly < m.
+    (0..p - 1).map(|j| merged[(j + 1) * m / p]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_evenly_spaced_and_sorted() {
+        let data: Vec<u64> = (0..1000).collect();
+        let s = select_regular_samples(&data, 9);
+        assert_eq!(s.len(), 9);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        // Roughly deciles.
+        assert_eq!(s[0], 100);
+        assert_eq!(s[8], 900);
+    }
+
+    #[test]
+    fn samples_clamped_to_data_len() {
+        let data = vec![1u64, 2, 3];
+        assert_eq!(select_regular_samples(&data, 10).len(), 3);
+        assert!(select_regular_samples::<u64>(&[], 5).is_empty());
+        assert!(select_regular_samples(&data, 0).is_empty());
+    }
+
+    #[test]
+    fn splitters_quartile_positions() {
+        // Two runs covering 0..100; 4 machines → 3 splitters near quartiles.
+        let run_a: Vec<u64> = (0..100).step_by(2).collect();
+        let run_b: Vec<u64> = (1..100).step_by(2).collect();
+        let s = select_splitters(&[run_a, run_b], 4);
+        assert_eq!(s.len(), 3);
+        assert!((20..30).contains(&s[0]), "{s:?}");
+        assert!((45..55).contains(&s[1]), "{s:?}");
+        assert!((70..80).contains(&s[2]), "{s:?}");
+    }
+
+    #[test]
+    fn splitters_duplicate_heavy_runs_can_repeat() {
+        // Heavily duplicated samples ⇒ duplicated splitters (the case the
+        // investigator exists for).
+        let runs: Vec<Vec<u64>> = (0..4).map(|_| vec![7u64; 50]).collect();
+        let s = select_splitters(&runs, 8);
+        assert_eq!(s.len(), 7);
+        assert!(s.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn splitters_degenerate_inputs() {
+        assert!(select_splitters::<u64>(&[], 4).is_empty());
+        assert!(select_splitters::<u64>(&[vec![], vec![]], 4).is_empty());
+        assert!(select_splitters(&[vec![1u64, 2, 3]], 1).is_empty());
+    }
+
+    #[test]
+    fn splitters_sorted() {
+        let runs = vec![vec![5u64, 20, 90], vec![1u64, 30, 60], vec![10u64, 40, 80]];
+        let s = select_splitters(&runs, 5);
+        assert_eq!(s.len(), 4);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

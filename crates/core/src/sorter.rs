@@ -1,0 +1,867 @@
+//! The six-step distributed sample sort (§IV).
+//!
+//! 1. **local sort** — parallel quicksort: data divided evenly among the
+//!    machine's worker threads, per-worker quicksort, Fig. 2 balanced
+//!    pairwise merge.
+//! 2. **sampling** — regular samples (buffer-sized rule) sent to master.
+//! 3. **splitters** — master merges the sample runs and broadcasts the
+//!    `p − 1` regular splitters.
+//! 4. **partition** — investigator binary search of the splitters on the
+//!    locally sorted data → `p` contiguous send ranges.
+//! 5. **exchange** — asynchronous offset-addressed all-to-all through the
+//!    data-manager buffers (send while receive).
+//! 6. **final merge** — Fig. 2 balanced merge of the per-source sorted
+//!    runs.
+//!
+//! The result is globally sorted across machines: machine 0 holds the
+//! smallest keys, machine `p − 1` the largest, every machine's slice
+//! locally sorted.
+
+use crate::config::{LocalSortAlgo, SortConfig};
+use crate::investigator::splitter_offsets;
+use crate::item::{tag_with_provenance, Keyed};
+use crate::sampling::{select_regular_samples, select_splitters};
+use pgxd::machine::MachineCtx;
+use pgxd_algos::kway::kway_merge;
+use pgxd_algos::merge::{balanced_merge, sort_chunks_and_merge};
+use pgxd_algos::quicksort::quicksort;
+use pgxd_algos::timsort::timsort;
+use pgxd_algos::Key;
+
+/// Step names recorded in the machine's [`StepTimer`](pgxd::metrics::StepTimer),
+/// matching the Fig. 7 breakdown.
+pub mod steps {
+    /// Step 1: local parallel sort.
+    pub const LOCAL_SORT: &str = "local_sort";
+    /// Step 2: sample selection + gather to master.
+    pub const SAMPLING: &str = "sampling";
+    /// Step 3: splitter selection + broadcast.
+    pub const SPLITTERS: &str = "splitters";
+    /// Step 4: investigator partitioning.
+    pub const PARTITION: &str = "partition";
+    /// Step 5: asynchronous data exchange.
+    pub const EXCHANGE: &str = "exchange";
+    /// Step 6: balanced final merge.
+    pub const FINAL_MERGE: &str = "final_merge";
+
+    /// All six, in order.
+    pub const ALL: [&str; 6] = [
+        LOCAL_SORT,
+        SAMPLING,
+        SPLITTERS,
+        PARTITION,
+        EXCHANGE,
+        FINAL_MERGE,
+    ];
+}
+
+/// Internal record wrapper ordering *only* by key, so payload types need
+/// no `Ord`. Equality follows the key too (consistent with `Ord`);
+/// payloads of equal-keyed records are deliberately not compared.
+#[derive(Debug, Clone, Copy)]
+struct KeyedRecord<K, R> {
+    key: K,
+    record: R,
+}
+
+impl<K: Ord, R> PartialEq for KeyedRecord<K, R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<K: Ord, R> Eq for KeyedRecord<K, R> {}
+impl<K: Ord, R> PartialOrd for KeyedRecord<K, R> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, R> Ord for KeyedRecord<K, R> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// One machine's slice of the globally sorted output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedPartition<T> {
+    /// The locally sorted slice of the global order.
+    pub data: Vec<T>,
+    /// The splitters that defined the global partition (`p − 1` keys).
+    pub splitters: Vec<T>,
+}
+
+impl<T> SortedPartition<T> {
+    /// Number of elements this machine ended up holding — the load the
+    /// Table II / Fig. 10 experiments compare across machines.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the machine holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Smallest and largest key held (None when empty) — the Table III
+    /// per-processor ranges.
+    pub fn range(&self) -> Option<(&T, &T)> {
+        Some((self.data.first()?, self.data.last()?))
+    }
+}
+
+/// The distributed sorter. Construct once, call
+/// [`DistSorter::sort`] (or [`DistSorter::sort_keyed`]) from inside a
+/// cluster SPMD closure.
+///
+/// # Example
+///
+/// ```
+/// use pgxd::cluster::{Cluster, ClusterConfig};
+/// use pgxd_core::{DistSorter, SortConfig};
+///
+/// let cluster = Cluster::new(ClusterConfig::new(4));
+/// let sorter = DistSorter::new(SortConfig::default());
+/// let report = cluster.run(|ctx| {
+///     // Each machine starts with its own unsorted shard.
+///     let local: Vec<u64> = (0..1000).map(|i| (i * 2654435761 + ctx.id() as u64) % 10_000).collect();
+///     sorter.sort(ctx, local).data
+/// });
+/// // Concatenating the machine outputs in id order yields a sorted array.
+/// let global: Vec<u64> = report.results.concat();
+/// assert!(global.windows(2).all(|w| w[0] <= w[1]));
+/// assert_eq!(global.len(), 4000);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistSorter {
+    config: SortConfig,
+}
+
+impl DistSorter {
+    /// A sorter with the given configuration.
+    pub fn new(config: SortConfig) -> Self {
+        DistSorter { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SortConfig {
+        &self.config
+    }
+
+    /// Sorts the union of every machine's `local` data globally.
+    /// SPMD: every machine calls this with its own shard.
+    pub fn sort<K: Key>(&self, ctx: &mut MachineCtx, local: Vec<K>) -> SortedPartition<K> {
+        self.sort_impl(ctx, local)
+    }
+
+    /// Sorts while tracking provenance: each output element knows its
+    /// origin machine and original local index (§IV step 6's
+    /// "information regards to their previous processors and locations").
+    pub fn sort_keyed<K: Key>(
+        &self,
+        ctx: &mut MachineCtx,
+        local: &[K],
+    ) -> SortedPartition<Keyed<K>> {
+        let tagged = tag_with_provenance(local, ctx.id());
+        self.sort_impl(ctx, tagged)
+    }
+
+    /// Sorts `(key, payload)` pairs by key — the paper's "sort multiple
+    /// different data simultaneously" API: the payload rides along with
+    /// its key through the exchange.
+    pub fn sort_pairs<K: Key, V: Copy + Send + Sync + Ord + 'static>(
+        &self,
+        ctx: &mut MachineCtx,
+        local: Vec<(K, V)>,
+    ) -> SortedPartition<(K, V)> {
+        self.sort_impl(ctx, local)
+    }
+
+    /// Sorts in descending global order (machine 0 ends with the largest
+    /// keys). Implemented by sorting [`Desc`]-wrapped keys, so every
+    /// mechanism (investigator included) applies unchanged.
+    ///
+    /// [`Desc`]: pgxd_algos::Desc
+    pub fn sort_descending<K: Key>(
+        &self,
+        ctx: &mut MachineCtx,
+        local: Vec<K>,
+    ) -> SortedPartition<K> {
+        let wrapped: Vec<pgxd_algos::Desc<K>> = local.into_iter().map(pgxd_algos::Desc).collect();
+        let part = self.sort_impl(ctx, wrapped);
+        SortedPartition {
+            data: part.data.into_iter().map(|d| d.0).collect(),
+            splitters: part.splitters.into_iter().map(|d| d.0).collect(),
+        }
+    }
+
+    /// Sorts arbitrary plain-data records by an extracted key — the
+    /// paper's "generic and works with any data type" API. The extractor
+    /// runs once per record; records travel whole through the exchange.
+    pub fn sort_records<R, K, F>(
+        &self,
+        ctx: &mut MachineCtx,
+        local: Vec<R>,
+        key_of: F,
+    ) -> SortedPartition<(K, R)>
+    where
+        R: Copy + Send + Sync + 'static,
+        K: Key,
+        F: Fn(&R) -> K,
+    {
+        let keyed: Vec<KeyedRecord<K, R>> = local
+            .into_iter()
+            .map(|r| KeyedRecord {
+                key: key_of(&r),
+                record: r,
+            })
+            .collect();
+        let part = self.sort_impl(ctx, keyed);
+        SortedPartition {
+            data: part.data.into_iter().map(|kr| (kr.key, kr.record)).collect(),
+            splitters: part
+                .splitters
+                .into_iter()
+                .map(|kr| (kr.key, kr.record))
+                .collect(),
+        }
+    }
+
+    /// Sorts several independent datasets *simultaneously* — the §VI
+    /// claim "is able to sort different data simultaneously" taken
+    /// literally: all batches share one sample gather, one splitter
+    /// broadcast, and one data exchange, instead of paying the collective
+    /// latencies once per dataset.
+    ///
+    /// Every machine must pass the same number of batches (SPMD
+    /// contract). Returns one [`SortedPartition`] per batch.
+    pub fn sort_batch<K: Key>(
+        &self,
+        ctx: &mut MachineCtx,
+        locals: Vec<Vec<K>>,
+    ) -> Vec<SortedPartition<K>> {
+        let p = ctx.num_machines();
+        let workers = ctx.workers();
+        let num_batches = locals.len();
+        if num_batches == 0 {
+            return Vec::new();
+        }
+
+        // Step 1: local sort, per batch.
+        let local_algo = self.config.local_sort;
+        let sorted: Vec<Vec<K>> = ctx.step(steps::LOCAL_SORT, move |_| {
+            locals
+                .into_iter()
+                .map(|batch| {
+                    sort_chunks_and_merge(batch, workers, |chunk| match local_algo {
+                        LocalSortAlgo::ParallelQuicksort => quicksort(chunk),
+                        LocalSortAlgo::Timsort => timsort(chunk),
+                        LocalSortAlgo::SuperScalarSampleSort => {
+                            let s = pgxd_algos::ssssort::super_scalar_sample_sort(chunk.to_vec());
+                            chunk.copy_from_slice(&s);
+                        }
+                    })
+                })
+                .collect()
+        });
+
+        // Step 2: ONE gather carrying every batch's samples, batch-tagged.
+        let sample_runs = ctx.step(steps::SAMPLING, |ctx| {
+            let mut tagged: Vec<(u32, K)> = Vec::new();
+            for (b, batch) in sorted.iter().enumerate() {
+                let count = self.config.samples_per_machine(
+                    ctx.buffer_bytes(),
+                    p * num_batches, // the buffer budget is shared
+                    std::mem::size_of::<K>(),
+                );
+                for s in select_regular_samples(batch, count) {
+                    tagged.push((b as u32, s));
+                }
+            }
+            ctx.gather_to_master(tagged)
+        });
+
+        // Step 3: ONE broadcast carrying every batch's splitters.
+        let all_splitters: Vec<Vec<K>> = ctx.step(steps::SPLITTERS, |ctx| {
+            let selected = sample_runs.map(|runs| {
+                let mut out: Vec<(u32, K)> = Vec::new();
+                for b in 0..num_batches as u32 {
+                    // Extract batch b's sorted sample run from each machine.
+                    let batch_runs: Vec<Vec<K>> = runs
+                        .iter()
+                        .map(|run| {
+                            let lo = run.partition_point(|&(rb, _)| rb < b);
+                            let hi = run.partition_point(|&(rb, _)| rb <= b);
+                            run[lo..hi].iter().map(|&(_, k)| k).collect()
+                        })
+                        .collect();
+                    for s in select_splitters(&batch_runs, p) {
+                        out.push((b, s));
+                    }
+                }
+                out
+            });
+            let flat = ctx.broadcast_from_master(selected);
+            (0..num_batches as u32)
+                .map(|b| {
+                    flat.iter()
+                        .filter(|&&(rb, _)| rb == b)
+                        .map(|&(_, k)| k)
+                        .collect()
+                })
+                .collect()
+        });
+
+        // Step 4: partition each batch; build ONE combined send array of
+        // batch-tagged keys, destination-major.
+        let (combined, send_offsets) = ctx.step(steps::PARTITION, |_| {
+            let per_batch_offsets: Vec<Vec<usize>> = sorted
+                .iter()
+                .zip(&all_splitters)
+                .map(|(batch, splitters)| {
+                    if splitters.is_empty() && p > 1 {
+                        let mut off = vec![0usize; p + 1];
+                        for slot in off.iter_mut().skip(1) {
+                            *slot = batch.len();
+                        }
+                        off
+                    } else {
+                        splitter_offsets(batch, splitters, self.config.investigator)
+                    }
+                })
+                .collect();
+            let total: usize = sorted.iter().map(|s| s.len()).sum();
+            let mut combined: Vec<(u32, K)> = Vec::with_capacity(total);
+            let mut send_offsets = Vec::with_capacity(p + 1);
+            send_offsets.push(0);
+            for dst in 0..p {
+                for (b, batch) in sorted.iter().enumerate() {
+                    let off = &per_batch_offsets[b];
+                    for &k in &batch[off[dst]..off[dst + 1]] {
+                        combined.push((b as u32, k));
+                    }
+                }
+                send_offsets.push(combined.len());
+            }
+            (combined, send_offsets)
+        });
+        drop(sorted);
+
+        // Step 5: ONE exchange for all batches.
+        let (received, source_bounds) = ctx.step(steps::EXCHANGE, |ctx| {
+            ctx.exchange_by_offsets(&combined, &send_offsets)
+        });
+        drop(combined);
+
+        // Step 6: split each source run by batch tag, then balanced-merge
+        // each batch's per-source runs.
+        ctx.step(steps::FINAL_MERGE, move |_| {
+            (0..num_batches)
+                .map(|b| {
+                    let tag = b as u32;
+                    let mut data: Vec<K> = Vec::new();
+                    let mut bounds = vec![0usize];
+                    for w in source_bounds.windows(2) {
+                        let run = &received[w[0]..w[1]];
+                        let lo = run.partition_point(|&(rb, _)| rb < tag);
+                        let hi = run.partition_point(|&(rb, _)| rb <= tag);
+                        data.extend(run[lo..hi].iter().map(|&(_, k)| k));
+                        bounds.push(data.len());
+                    }
+                    let merged = if self.config.balanced_final_merge {
+                        balanced_merge(data, &bounds, workers)
+                    } else {
+                        let runs: Vec<&[K]> =
+                            bounds.windows(2).map(|w| &data[w[0]..w[1]]).collect();
+                        kway_merge(&runs)
+                    };
+                    SortedPartition {
+                        data: merged,
+                        splitters: all_splitters[b].clone(),
+                    }
+                })
+                .collect()
+        })
+    }
+
+    fn sort_impl<T: Key>(&self, ctx: &mut MachineCtx, local: Vec<T>) -> SortedPartition<T> {
+        let p = ctx.num_machines();
+        let workers = ctx.workers();
+
+        // Step 1: local parallel sort (chunk → quicksort → balanced merge).
+        let local_algo = self.config.local_sort;
+        let sorted = ctx.step(steps::LOCAL_SORT, move |_| {
+            sort_chunks_and_merge(local, workers, |chunk| match local_algo {
+                LocalSortAlgo::ParallelQuicksort => quicksort(chunk),
+                LocalSortAlgo::Timsort => timsort(chunk),
+                LocalSortAlgo::SuperScalarSampleSort => {
+                    let sorted =
+                        pgxd_algos::ssssort::super_scalar_sample_sort(chunk.to_vec());
+                    chunk.copy_from_slice(&sorted);
+                }
+            })
+        });
+
+        // Step 2: regular samples to master (buffer-sized rule, §IV-B).
+        let sample_count =
+            self.config
+                .samples_per_machine(ctx.buffer_bytes(), p, std::mem::size_of::<T>());
+        let sample_runs = ctx.step(steps::SAMPLING, |ctx| {
+            let samples = select_regular_samples(&sorted, sample_count);
+            ctx.gather_to_master(samples)
+        });
+
+        // Step 3: master merges sample runs, selects and broadcasts the
+        // p − 1 splitters.
+        let splitters = ctx.step(steps::SPLITTERS, |ctx| {
+            let selected = sample_runs.map(|runs| select_splitters(&runs, p));
+            ctx.broadcast_from_master(selected)
+        });
+
+        // Step 4: investigator partitioning into p send ranges.
+        let offsets = ctx.step(steps::PARTITION, |_| {
+            if splitters.is_empty() && p > 1 {
+                // Degenerate tiny input: no samples anywhere. Route
+                // everything to machine 0.
+                let mut off = vec![0usize; p + 1];
+                for slot in off.iter_mut().skip(1) {
+                    *slot = sorted.len();
+                }
+                off
+            } else {
+                splitter_offsets(&sorted, &splitters, self.config.investigator)
+            }
+        });
+
+        // Step 5: asynchronous offset-addressed exchange.
+        let (received, source_bounds) =
+            ctx.step(steps::EXCHANGE, |ctx| ctx.exchange_by_offsets(&sorted, &offsets));
+        drop(sorted);
+
+        // Step 6: balanced merge of the per-source sorted runs.
+        let merged = ctx.step(steps::FINAL_MERGE, move |_| {
+            if self.config.balanced_final_merge {
+                balanced_merge(received, &source_bounds, workers)
+            } else {
+                // Ablation: sequential k-way loser-tree merge.
+                let runs: Vec<&[T]> = source_bounds
+                    .windows(2)
+                    .map(|w| &received[w[0]..w[1]])
+                    .collect();
+                kway_merge(&runs)
+            }
+        });
+
+        SortedPartition {
+            data: merged,
+            splitters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd::cluster::{Cluster, ClusterConfig};
+    use pgxd_datagen::{generate_partitioned, Distribution};
+
+    fn run_sort(
+        machines: usize,
+        workers: usize,
+        dist: Distribution,
+        n: usize,
+        config: SortConfig,
+        seed: u64,
+    ) -> (Vec<Vec<u64>>, Vec<u64>) {
+        let parts = generate_partitioned(dist, n, machines, seed);
+        let mut expect: Vec<u64> = parts.concat();
+        expect.sort_unstable();
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(workers));
+        let sorter = DistSorter::new(config);
+        let report = cluster.run(|ctx| {
+            let local = parts[ctx.id()].clone();
+            sorter.sort(ctx, local).data
+        });
+        (report.results, expect)
+    }
+
+    fn assert_globally_sorted(results: &[Vec<u64>], expect: &[u64]) {
+        let flat: Vec<u64> = results.concat();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn sorts_uniform_across_machine_counts() {
+        for machines in [1usize, 2, 3, 4, 8] {
+            let (results, expect) = run_sort(
+                machines,
+                2,
+                Distribution::Uniform,
+                20_000,
+                SortConfig::default(),
+                machines as u64,
+            );
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn sorts_all_four_distributions() {
+        for dist in Distribution::ALL {
+            let (results, expect) = run_sort(4, 2, dist, 30_000, SortConfig::default(), 7);
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn duplicates_balanced_with_investigator() {
+        let (results, expect) = run_sort(
+            8,
+            2,
+            Distribution::Exponential,
+            40_000,
+            SortConfig::default(),
+            11,
+        );
+        assert_globally_sorted(&results, &expect);
+        let sizes: Vec<usize> = results.iter().map(|r| r.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        // Balanced: no machine holds more than ~2x the smallest share.
+        assert!(
+            max < 2 * min.max(1) + 40_000 / 16,
+            "imbalanced sizes: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn all_equal_keys_still_balanced() {
+        let machines = 5;
+        let parts: Vec<Vec<u64>> = (0..machines).map(|_| vec![9u64; 2000]).collect();
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let local = parts[ctx.id()].clone();
+            sorter.sort(ctx, local).data.len()
+        });
+        let sizes = &report.results;
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, machines * 2000);
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= total / machines, "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn without_investigator_all_equal_collapses() {
+        let machines = 5;
+        let parts: Vec<Vec<u64>> = (0..machines).map(|_| vec![9u64; 1000]).collect();
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let sorter = DistSorter::new(SortConfig::default().investigator(false));
+        let report = cluster.run(|ctx| {
+            let local = parts[ctx.id()].clone();
+            sorter.sort(ctx, local).data.len()
+        });
+        // The Fig. 3b pathology: one machine gets (almost) everything.
+        let max = *report.results.iter().max().unwrap();
+        assert_eq!(max, machines * 1000, "{:?}", report.results);
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        for n in [0usize, 1, 3, 10] {
+            let (results, expect) =
+                run_sort(4, 1, Distribution::Uniform, n, SortConfig::default(), 3);
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn provenance_maps_back_to_origin() {
+        let machines = 3;
+        let parts = generate_partitioned(Distribution::Normal, 5000, machines, 21);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let local = parts[ctx.id()].clone();
+            sorter.sort_keyed(ctx, &local).data
+        });
+        let mut count = 0;
+        let mut prev: Option<u64> = None;
+        for part in &report.results {
+            for item in part {
+                // Key-sorted globally.
+                if let Some(p) = prev {
+                    assert!(p <= item.key);
+                }
+                prev = Some(item.key);
+                // Provenance points at the actual original element.
+                assert_eq!(parts[item.origin as usize][item.index as usize], item.key);
+                count += 1;
+            }
+        }
+        assert_eq!(count, 5000);
+    }
+
+    #[test]
+    fn sort_pairs_carries_payloads() {
+        let machines = 4;
+        let parts = generate_partitioned(Distribution::Uniform, 8000, machines, 5);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            // payload = key * 3 + 1, so we can verify pairs stay intact.
+            let local: Vec<(u64, u64)> = parts[ctx.id()]
+                .iter()
+                .map(|&k| (k, k.wrapping_mul(3) + 1))
+                .collect();
+            sorter.sort_pairs(ctx, local).data
+        });
+        let flat: Vec<(u64, u64)> = report.results.concat();
+        assert_eq!(flat.len(), 8000);
+        assert!(flat.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(flat.iter().all(|&(k, v)| v == k.wrapping_mul(3) + 1));
+    }
+
+    #[test]
+    fn kway_final_merge_ablation_agrees() {
+        let (balanced, expect) = run_sort(
+            4,
+            2,
+            Distribution::RightSkewed,
+            20_000,
+            SortConfig::default(),
+            9,
+        );
+        let (kway, expect2) = run_sort(
+            4,
+            2,
+            Distribution::RightSkewed,
+            20_000,
+            SortConfig::default().balanced_final_merge(false),
+            9,
+        );
+        assert_eq!(expect, expect2);
+        assert_globally_sorted(&balanced, &expect);
+        assert_globally_sorted(&kway, &expect);
+    }
+
+    #[test]
+    fn timsort_local_sort_agrees() {
+        let (results, expect) = run_sort(
+            3,
+            2,
+            Distribution::Exponential,
+            15_000,
+            SortConfig::default().local_sort(LocalSortAlgo::Timsort),
+            13,
+        );
+        assert_globally_sorted(&results, &expect);
+    }
+
+    #[test]
+    fn ssssort_local_sort_agrees() {
+        for dist in [Distribution::Uniform, Distribution::RightSkewed] {
+            let (results, expect) = run_sort(
+                3,
+                2,
+                dist,
+                15_000,
+                SortConfig::default().local_sort(LocalSortAlgo::SuperScalarSampleSort),
+                19,
+            );
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn descending_sort_reverses_global_order() {
+        let machines = 4;
+        let parts = generate_partitioned(Distribution::Uniform, 8000, machines, 41);
+        let mut expect: Vec<u64> = parts.concat();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| sorter.sort_descending(ctx, parts[ctx.id()].clone()).data);
+        assert_eq!(report.results.concat(), expect);
+    }
+
+    #[test]
+    fn record_sort_by_extracted_key() {
+        // Records with a non-Ord payload component (an f32), sorted by an
+        // extracted integer key.
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct Sample {
+            id: u64,
+            weight: f32,
+        }
+        let machines = 3;
+        let raw = generate_partitioned(Distribution::Normal, 6000, machines, 43);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let records: Vec<Sample> = raw[ctx.id()]
+                .iter()
+                .map(|&k| Sample {
+                    id: k,
+                    weight: (k % 97) as f32,
+                })
+                .collect();
+            sorter.sort_records(ctx, records, |r| r.id).data
+        });
+        let flat: Vec<(u64, Sample)> = report.results.concat();
+        assert_eq!(flat.len(), 6000);
+        assert!(flat.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Payloads stay attached to their keys.
+        assert!(flat.iter().all(|(k, r)| r.id == *k && r.weight == (k % 97) as f32));
+    }
+
+    #[test]
+    fn batch_sort_sorts_every_batch() {
+        let machines = 4;
+        let batches = [
+            generate_partitioned(Distribution::Uniform, 8000, machines, 51),
+            generate_partitioned(Distribution::Exponential, 6000, machines, 52),
+            generate_partitioned(Distribution::RightSkewed, 4000, machines, 53),
+        ];
+        let expects: Vec<Vec<u64>> = batches
+            .iter()
+            .map(|b| {
+                let mut v: Vec<u64> = b.concat();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let batches_ref = &batches;
+        let report = cluster.run(|ctx| {
+            let locals: Vec<Vec<u64>> =
+                batches_ref.iter().map(|b| b[ctx.id()].clone()).collect();
+            let parts = sorter.sort_batch(ctx, locals);
+            parts.into_iter().map(|p| p.data).collect::<Vec<_>>()
+        });
+        for (b, expect) in expects.iter().enumerate() {
+            let got: Vec<u64> = report
+                .results
+                .iter()
+                .flat_map(|outs| outs[b].clone())
+                .collect();
+            assert_eq!(&got, expect, "batch {b}");
+        }
+    }
+
+    #[test]
+    fn batch_sort_single_batch_matches_plain_sort() {
+        let machines = 3;
+        let parts = generate_partitioned(Distribution::Normal, 6000, machines, 55);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let plain = sorter.sort(ctx, parts[ctx.id()].clone()).data;
+            let batched = sorter
+                .sort_batch(ctx, vec![parts[ctx.id()].clone()])
+                .pop()
+                .unwrap()
+                .data;
+            (plain, batched)
+        });
+        let flat_plain: Vec<u64> = report.results.iter().flat_map(|(p, _)| p.clone()).collect();
+        let flat_batch: Vec<u64> = report.results.iter().flat_map(|(_, b)| b.clone()).collect();
+        assert_eq!(flat_plain, flat_batch);
+    }
+
+    #[test]
+    fn batch_sort_with_empty_and_zero_batches() {
+        let machines = 3;
+        let parts = generate_partitioned(Distribution::Uniform, 3000, machines, 57);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let zero = sorter.sort_batch::<u64>(ctx, vec![]);
+            assert!(zero.is_empty());
+            // One real batch, one empty batch.
+            let locals = vec![parts[ctx.id()].clone(), Vec::new()];
+            let out = sorter.sort_batch(ctx, locals);
+            (out[0].data.clone(), out[1].data.clone())
+        });
+        let mut expect: Vec<u64> = parts.concat();
+        expect.sort_unstable();
+        let got: Vec<u64> = report.results.iter().flat_map(|(a, _)| a.clone()).collect();
+        assert_eq!(got, expect);
+        assert!(report.results.iter().all(|(_, b)| b.is_empty()));
+    }
+
+    #[test]
+    fn batch_sort_keeps_duplicate_heavy_batches_balanced() {
+        let machines = 5;
+        let heavy: Vec<Vec<u64>> = (0..machines).map(|_| vec![3u64; 2000]).collect();
+        let mixed = generate_partitioned(Distribution::Uniform, 10_000, machines, 59);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let sorter = DistSorter::default();
+        let heavy_ref = &heavy;
+        let mixed_ref = &mixed;
+        let report = cluster.run(|ctx| {
+            let out = sorter.sort_batch(
+                ctx,
+                vec![heavy_ref[ctx.id()].clone(), mixed_ref[ctx.id()].clone()],
+            );
+            (out[0].len(), out[1].len())
+        });
+        let heavy_sizes: Vec<usize> = report.results.iter().map(|r| r.0).collect();
+        assert_eq!(heavy_sizes.iter().sum::<usize>(), machines * 2000);
+        let max = heavy_sizes.iter().max().unwrap();
+        let min = heavy_sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "heavy batch imbalanced: {heavy_sizes:?}");
+    }
+
+    #[test]
+    fn records_all_six_steps() {
+        let parts = generate_partitioned(Distribution::Uniform, 4000, 2, 17);
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let local = parts[ctx.id()].clone();
+            let _ = sorter.sort(ctx, local);
+        });
+        let names = report.steps.step_names();
+        for step in steps::ALL {
+            assert!(names.contains(&step), "missing step {step}");
+        }
+    }
+
+    #[test]
+    fn splitters_reported_and_ranges_disjoint() {
+        let parts = generate_partitioned(Distribution::Uniform, 30_000, 4, 23);
+        let cluster = Cluster::new(ClusterConfig::new(4).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let local = parts[ctx.id()].clone();
+            let part = sorter.sort(ctx, local);
+            (part.splitters.clone(), part.range().map(|(a, b)| (*a, *b)))
+        });
+        let (splitters, _) = &report.results[0];
+        assert_eq!(splitters.len(), 3);
+        // Machine ranges must be non-overlapping and ordered by id.
+        let ranges: Vec<(u64, u64)> = report
+            .results
+            .iter()
+            .filter_map(|(_, r)| *r)
+            .collect();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping ranges {ranges:?}");
+        }
+    }
+
+    #[test]
+    fn small_sample_factor_still_correct() {
+        let (results, expect) = run_sort(
+            4,
+            2,
+            Distribution::RightSkewed,
+            20_000,
+            SortConfig::default().sample_factor(0.004),
+            31,
+        );
+        assert_globally_sorted(&results, &expect);
+    }
+}

@@ -1,0 +1,214 @@
+//! The four key distributions of Fig. 4.
+//!
+//! Keys are `u64`. The normal / right-skewed / exponential generators are
+//! built from first principles (Box–Muller, log-normal, inverse-CDF) so no
+//! extra statistics crate is needed, and each distribution carries a
+//! *quantization* step that controls duplication: the paper's skewed and
+//! exponential datasets owe their difficulty to massive duplication, which
+//! quantization reproduces deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Key distribution selector, mirroring Fig. 4 (a)–(d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Distribution {
+    /// (a) Uniform over `[0, 2^40)`.
+    Uniform,
+    /// (b) Normal, mean 2^39, σ 2^36, quantized to 2^20 buckets.
+    Normal,
+    /// (c) Right-skewed (log-normal), coarsely quantized — many duplicates
+    ///     concentrated at small values with a long right tail.
+    RightSkewed,
+    /// (d) Exponential, coarsely quantized — many duplicates at small
+    ///     values.
+    Exponential,
+}
+
+impl Distribution {
+    /// All four, in Fig. 4 order.
+    pub const ALL: [Distribution; 4] = [
+        Distribution::Uniform,
+        Distribution::Normal,
+        Distribution::RightSkewed,
+        Distribution::Exponential,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Normal => "normal",
+            Distribution::RightSkewed => "right-skewed",
+            Distribution::Exponential => "exponential",
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match self {
+            Distribution::Uniform => rng.random_range(0..1u64 << 40),
+            Distribution::Normal => {
+                let z = standard_normal(rng);
+                let value = (1u64 << 39) as f64 + z * (1u64 << 36) as f64;
+                let clamped = value.clamp(0.0, (1u64 << 40) as f64);
+                // Quantize to 2^20 distinct buckets: mild duplication.
+                let bucket = 1u64 << 20;
+                (clamped as u64 / bucket) * bucket
+            }
+            Distribution::RightSkewed => {
+                // Log-normal (μ = 3, σ = 1) coarsely quantized to buckets
+                // of 16. The modal bucket holds ~40% of all keys, so at
+                // realistic processor counts several splitters land on the
+                // same value — the Fig. 3b/3c regime Table II reports
+                // (a single dominant value shared across procs 2–9).
+                let z = standard_normal(rng);
+                let value = (3.0 + z).exp();
+                (value as u64 / 16) * 16
+            }
+            Distribution::Exponential => {
+                // Geometric-shaped: floor of an exponential with mean 2.
+                // P(0) ≈ 39%, P(1) ≈ 24%, … — the "many duplicated data
+                // entries" dataset of Fig. 4d, scaled to key units of 1000
+                // so values remain visibly spread.
+                let u: f64 = rng.random_range(f64::EPSILON..1.0);
+                let value = (-u.ln() * 2.0) as u64;
+                value * 1000
+            }
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller (uses one of the pair).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates `n` keys from `dist`, deterministic under `seed`.
+/// Chunked across the rayon pool; each chunk derives its own stream so
+/// results are identical regardless of thread count.
+pub fn generate(dist: Distribution, n: usize, seed: u64) -> Vec<u64> {
+    const CHUNK: usize = 1 << 16;
+    let chunks = n.div_ceil(CHUNK.max(1)).max(1);
+    (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let start = c * CHUNK;
+            let len = CHUNK.min(n - start);
+            let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            (0..len).map(move |_| dist.sample(&mut rng)).collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Generates `n` keys split evenly across `machines` partitions — the
+/// per-machine input layout of every experiment.
+pub fn generate_partitioned(
+    dist: Distribution,
+    n: usize,
+    machines: usize,
+    seed: u64,
+) -> Vec<Vec<u64>> {
+    crate::partition_even(&generate(dist, n, seed), machines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const N: usize = 200_000;
+
+    fn stats(v: &[u64]) -> (f64, f64) {
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        for dist in Distribution::ALL {
+            let a = generate(dist, 10_000, 42);
+            let b = generate(dist, 10_000, 42);
+            assert_eq!(a, b, "{}", dist.name());
+            let c = generate(dist, 10_000, 43);
+            assert_ne!(a, c, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_center() {
+        let v = generate(Distribution::Uniform, N, 1);
+        let (mean, _) = stats(&v);
+        let center = (1u64 << 39) as f64;
+        assert!((mean - center).abs() < center * 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_symmetric_around_mean() {
+        let v = generate(Distribution::Normal, N, 2);
+        let center = (1u64 << 39) as f64;
+        let below = v.iter().filter(|&&x| (x as f64) < center).count();
+        let frac = below as f64 / v.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "below-fraction={frac}");
+    }
+
+    #[test]
+    fn right_skewed_is_right_skewed() {
+        let v = generate(Distribution::RightSkewed, N, 3);
+        let (mean, _) = stats(&v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let median = sorted[v.len() / 2] as f64;
+        assert!(mean > median * 1.2, "mean={mean} median={median}");
+    }
+
+    #[test]
+    fn exponential_is_right_skewed_too() {
+        let v = generate(Distribution::Exponential, N, 4);
+        let (mean, _) = stats(&v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let median = sorted[v.len() / 2] as f64;
+        assert!(mean > median, "mean={mean} median={median}");
+    }
+
+    #[test]
+    fn skewed_distributions_have_heavy_duplication() {
+        for dist in [Distribution::RightSkewed, Distribution::Exponential] {
+            let v = generate(dist, N, 5);
+            let distinct: HashSet<u64> = v.iter().copied().collect();
+            // Many duplicates: far fewer distinct values than keys.
+            assert!(
+                distinct.len() < N / 4,
+                "{}: {} distinct of {N}",
+                dist.name(),
+                distinct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_has_little_duplication() {
+        let v = generate(Distribution::Uniform, N, 6);
+        let distinct: HashSet<u64> = v.iter().copied().collect();
+        assert!(distinct.len() > N * 9 / 10);
+    }
+
+    #[test]
+    fn generate_exact_lengths() {
+        for n in [0usize, 1, 100, 65_536, 65_537, 100_000] {
+            assert_eq!(generate(Distribution::Uniform, n, 7).len(), n);
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_flat() {
+        let flat = generate(Distribution::Normal, 10_000, 8);
+        let parts = generate_partitioned(Distribution::Normal, 10_000, 7, 8);
+        assert_eq!(parts.concat(), flat);
+    }
+}

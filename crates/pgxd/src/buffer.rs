@@ -1,0 +1,206 @@
+//! The data manager's request buffers (§III / §IV-B).
+//!
+//! PGX.D buffers outgoing remote writes per destination and ships a buffer
+//! when it reaches its maximum size (256 KiB, the empirically tuned value
+//! the sampling step also keys off) or when the worker finishes its
+//! scheduled tasks. [`RequestBuffer`] reproduces that: elements pushed for
+//! a destination accumulate until the buffer holds `capacity_bytes` worth,
+//! then flush as one [`OffsetChunk`] packet tagged for the exchange.
+
+use crate::comm::{CommSender, Tag};
+
+/// A chunk of exchange data addressed to a receiver-side element offset,
+/// so the receiver can write it straight into its preallocated output
+/// (the §IV-C offset-write mechanism).
+pub struct OffsetChunk<T> {
+    /// Element offset in the receiver's assembled output buffer.
+    pub offset: usize,
+    /// The elements themselves.
+    pub data: Vec<T>,
+}
+
+/// Per-destination outgoing buffer that flushes at a byte capacity.
+pub struct RequestBuffer<T> {
+    dst: usize,
+    tag: Tag,
+    /// Flush threshold in bytes (PGX.D: 256 KiB).
+    capacity_bytes: usize,
+    /// Receiver-side element offset the *next* flushed chunk starts at.
+    next_offset: usize,
+    buf: Vec<T>,
+    flushed_chunks: usize,
+}
+
+impl<T: Send + Copy + 'static> RequestBuffer<T> {
+    /// A buffer for `dst`, starting at receiver-side offset `base_offset`.
+    pub fn new(dst: usize, tag: Tag, capacity_bytes: usize, base_offset: usize) -> Self {
+        let cap_elems = Self::capacity_elems(capacity_bytes);
+        RequestBuffer {
+            dst,
+            tag,
+            capacity_bytes,
+            next_offset: base_offset,
+            buf: Vec::with_capacity(cap_elems),
+            flushed_chunks: 0,
+        }
+    }
+
+    /// Elements that fit under the byte capacity (at least 1).
+    fn capacity_elems(capacity_bytes: usize) -> usize {
+        (capacity_bytes / std::mem::size_of::<T>().max(1)).max(1)
+    }
+
+    /// Queues one element, flushing if the buffer reaches capacity.
+    pub fn push(&mut self, value: T, sender: &CommSender) {
+        self.buf.push(value);
+        if self.buf.len() >= Self::capacity_elems(self.capacity_bytes) {
+            self.flush(sender);
+        }
+    }
+
+    /// Queues a slice, flushing as capacity boundaries are crossed.
+    pub fn push_slice(&mut self, values: &[T], sender: &CommSender) {
+        let cap = Self::capacity_elems(self.capacity_bytes);
+        let mut rest = values;
+        while !rest.is_empty() {
+            let room = cap - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() >= cap {
+                self.flush(sender);
+            }
+        }
+    }
+
+    /// Ships whatever is buffered as one offset-addressed chunk.
+    pub fn flush(&mut self, sender: &CommSender) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let cap = Self::capacity_elems(self.capacity_bytes);
+        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(cap));
+        let chunk = OffsetChunk {
+            offset: self.next_offset,
+            data,
+        };
+        self.next_offset += chunk.data.len();
+        let wire_bytes = std::mem::size_of::<T>() * chunk.data.len();
+        self.flushed_chunks += 1;
+        // OffsetChunk is sent as a value payload; wire cost is its data.
+        sender_send_chunk(sender, self.dst, self.tag, chunk, wire_bytes);
+    }
+
+    /// Number of chunks flushed so far.
+    pub fn flushed_chunks(&self) -> usize {
+        self.flushed_chunks
+    }
+
+    /// Elements currently buffered (not yet flushed).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The destination machine.
+    pub fn dst(&self) -> usize {
+        self.dst
+    }
+}
+
+fn sender_send_chunk<T: Send + 'static>(
+    sender: &CommSender,
+    dst: usize,
+    tag: Tag,
+    chunk: OffsetChunk<T>,
+    wire_bytes: usize,
+) {
+    // The payload travels as an `(offset, Vec<T>)` pair; the wire cost is
+    // the element data plus the 8-byte offset header.
+    sender.send_value_with_bytes(dst, tag, (chunk.offset, chunk.data), wire_bytes + 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommManager;
+    use crate::metrics::CommStats;
+    use std::sync::Arc;
+
+    fn fabric2() -> Vec<CommManager> {
+        CommManager::fabric(2, Arc::new(CommStats::new(2, Default::default())))
+    }
+
+    #[test]
+    fn flushes_on_capacity() {
+        let mut f = fabric2();
+        let mut m1 = f.pop().unwrap();
+        let m0 = f.pop().unwrap();
+        let tag = Tag::user(0, 0);
+        // capacity = 32 bytes = 4 u64 elements
+        let mut buf: RequestBuffer<u64> = RequestBuffer::new(1, tag, 32, 100);
+        let sender = m0.sender();
+        for v in 0..10u64 {
+            buf.push(v, &sender);
+        }
+        assert_eq!(buf.flushed_chunks(), 2);
+        assert_eq!(buf.pending(), 2);
+        buf.flush(&sender);
+        assert_eq!(buf.flushed_chunks(), 3);
+
+        // Receiver sees three chunks with consecutive offsets.
+        let (_, c1) = m1.recv_value::<(usize, Vec<u64>)>(tag);
+        let (_, c2) = m1.recv_value::<(usize, Vec<u64>)>(tag);
+        let (_, c3) = m1.recv_value::<(usize, Vec<u64>)>(tag);
+        assert_eq!(c1.0, 100);
+        assert_eq!(c1.1, vec![0, 1, 2, 3]);
+        assert_eq!(c2.0, 104);
+        assert_eq!(c2.1, vec![4, 5, 6, 7]);
+        assert_eq!(c3.0, 108);
+        assert_eq!(c3.1, vec![8, 9]);
+    }
+
+    #[test]
+    fn push_slice_spans_multiple_chunks() {
+        let mut f = fabric2();
+        let mut m1 = f.pop().unwrap();
+        let m0 = f.pop().unwrap();
+        let tag = Tag::user(0, 1);
+        let mut buf: RequestBuffer<u32> = RequestBuffer::new(1, tag, 16, 0); // 4 elems
+        let values: Vec<u32> = (0..11).collect();
+        buf.push_slice(&values, &m0.sender());
+        buf.flush(&m0.sender());
+        let mut got = vec![0u32; 11];
+        for _ in 0..3 {
+            let (_, (off, data)) = m1.recv_value::<(usize, Vec<u32>)>(tag);
+            got[off..off + data.len()].copy_from_slice(&data);
+        }
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut f = fabric2();
+        let _m1 = f.pop().unwrap();
+        let m0 = f.pop().unwrap();
+        let mut buf: RequestBuffer<u64> = RequestBuffer::new(1, Tag::user(0, 2), 64, 0);
+        buf.flush(&m0.sender());
+        assert_eq!(buf.flushed_chunks(), 0);
+    }
+
+    #[test]
+    fn tiny_capacity_still_makes_progress() {
+        let mut f = fabric2();
+        let mut m1 = f.pop().unwrap();
+        let m0 = f.pop().unwrap();
+        let tag = Tag::user(0, 3);
+        // capacity smaller than one element: every push flushes.
+        let mut buf: RequestBuffer<u64> = RequestBuffer::new(1, tag, 1, 0);
+        buf.push(5, &m0.sender());
+        buf.push(6, &m0.sender());
+        assert_eq!(buf.flushed_chunks(), 2);
+        let (_, (o1, d1)) = m1.recv_value::<(usize, Vec<u64>)>(tag);
+        assert_eq!((o1, d1), (0, vec![5]));
+        let (_, (o2, d2)) = m1.recv_value::<(usize, Vec<u64>)>(tag);
+        assert_eq!((o2, d2), (1, vec![6]));
+    }
+}

@@ -1,0 +1,368 @@
+//! The communication manager: point-to-point typed message passing
+//! between simulated machines, with byte accounting against the network
+//! model.
+//!
+//! Machines exchange [`Packet`]s over unbounded crossbeam channels (the
+//! fabric). Payloads move by ownership — no serialization — which models
+//! PGX.D's zero-copy native transport; the *Spark* baseline deliberately
+//! serializes instead (see `pgxd-baselines`), which is one of the
+//! mechanisms behind the paper's 2–3× gap.
+//!
+//! Tag discipline: collectives stamp every packet with a sequence number
+//! managed by [`MachineCtx`](crate::machine::MachineCtx) so that two
+//! consecutive collectives can never steal each other's packets even when
+//! machines run ahead; a per-machine mailbox holds early arrivals.
+
+use crate::metrics::SharedCommStats;
+use crossbeam::channel::{Receiver, Sender};
+use std::any::Any;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Message tag: `(kind, sequence)`. Collectives derive these; user code
+/// can use [`Tag::user`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// Namespace of the message (collective kind or user-defined).
+    pub kind: u16,
+    /// Sequence number within the namespace.
+    pub seq: u64,
+}
+
+impl Tag {
+    /// A user-namespace tag. Kinds 0..=15 are reserved for collectives.
+    pub fn user(kind: u16, seq: u64) -> Tag {
+        Tag {
+            kind: kind.checked_add(16).expect("user tag kind overflow"),
+            seq,
+        }
+    }
+}
+
+/// Reserved collective tag kinds.
+pub mod kinds {
+    /// Gather-to-master payloads.
+    pub const GATHER: u16 = 1;
+    /// Master-to-all broadcast payloads.
+    pub const BROADCAST: u16 = 2;
+    /// Simple all-to-all payloads.
+    pub const ALL_TO_ALL: u16 = 3;
+    /// All-gather payloads.
+    pub const ALL_GATHER: u16 = 4;
+    /// Offset-addressed exchange: the count matrix rows.
+    pub const EXCHANGE_COUNTS: u16 = 5;
+    /// Offset-addressed exchange: the data chunks.
+    pub const EXCHANGE_DATA: u16 = 6;
+}
+
+/// A fabric packet: opaque owned payload plus accounting metadata.
+pub struct Packet {
+    /// Sender machine id.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Bytes this payload would occupy on the wire.
+    pub wire_bytes: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Receiving anything takes longer than this ⇒ the SPMD protocol is
+/// broken (mismatched collective order); panic instead of hanging.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The send half of a machine's communication manager. Cheap to clone, so
+/// a machine can send from a helper thread while its main thread receives
+/// (the §IV-C "send while receiving" pattern).
+#[derive(Clone)]
+pub struct CommSender {
+    id: usize,
+    links: Vec<Sender<Packet>>,
+    stats: SharedCommStats,
+}
+
+impl CommSender {
+    /// This machine's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Sends an owned `Vec<T>` to `dst`. Wire bytes = `len * size_of::<T>()`.
+    /// Self-sends are delivered but not charged to the network.
+    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) {
+        let wire_bytes = std::mem::size_of::<T>() * data.len();
+        self.send_packet(dst, tag, wire_bytes, Box::new(data));
+    }
+
+    /// Sends a single owned value to `dst`.
+    pub fn send_value<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        let wire_bytes = std::mem::size_of::<T>();
+        self.send_packet(dst, tag, wire_bytes, Box::new(value));
+    }
+
+    /// Sends a value whose wire size differs from `size_of::<T>()` (e.g. a
+    /// header + heap payload pair). The caller supplies the true byte
+    /// count for accounting.
+    pub fn send_value_with_bytes<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+        wire_bytes: usize,
+    ) {
+        self.send_packet(dst, tag, wire_bytes, Box::new(value));
+    }
+
+    fn send_packet(&self, dst: usize, tag: Tag, wire_bytes: usize, payload: Box<dyn Any + Send>) {
+        if dst != self.id {
+            self.stats.record_packet(wire_bytes, dst);
+        }
+        self.links[dst]
+            .send(Packet {
+                src: self.id,
+                tag,
+                wire_bytes,
+                payload,
+            })
+            .expect("fabric receiver dropped — machine exited early");
+    }
+}
+
+/// A machine's full communication manager: the send half plus the inbox
+/// and mailbox for tag-matched receives.
+pub struct CommManager {
+    sender: CommSender,
+    inbox: Receiver<Packet>,
+    /// Early arrivals parked until something asks for their tag.
+    mailbox: HashMap<Tag, VecDeque<Packet>>,
+}
+
+impl CommManager {
+    /// Wires up a full fabric for `p` machines, returning one manager per
+    /// machine.
+    pub fn fabric(p: usize, stats: SharedCommStats) -> Vec<CommManager> {
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(id, inbox)| CommManager {
+                sender: CommSender {
+                    id,
+                    links: txs.clone(),
+                    stats: stats.clone(),
+                },
+                inbox,
+                mailbox: HashMap::new(),
+            })
+            .collect()
+    }
+
+    /// This machine's id.
+    pub fn id(&self) -> usize {
+        self.sender.id
+    }
+
+    /// Number of machines on the fabric.
+    pub fn num_machines(&self) -> usize {
+        self.sender.num_machines()
+    }
+
+    /// A clonable send handle (for send-while-receive patterns).
+    pub fn sender(&self) -> CommSender {
+        self.sender.clone()
+    }
+
+    /// Sends an owned `Vec<T>` to `dst`.
+    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) {
+        self.sender.send_vec(dst, tag, data)
+    }
+
+    /// Sends a single owned value to `dst`.
+    pub fn send_value<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        self.sender.send_value(dst, tag, value)
+    }
+
+    /// Receives the next packet with `tag` from any source, blocking.
+    /// Panics after two minutes (protocol bug guard).
+    pub fn recv_packet(&mut self, tag: Tag) -> Packet {
+        if let Some(queue) = self.mailbox.get_mut(&tag) {
+            if let Some(pkt) = queue.pop_front() {
+                return pkt;
+            }
+        }
+        loop {
+            let pkt = self
+                .inbox
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| panic!("machine {}: timed out waiting for tag {tag:?}", self.id()));
+            if pkt.tag == tag {
+                return pkt;
+            }
+            self.mailbox.entry(pkt.tag).or_default().push_back(pkt);
+        }
+    }
+
+    /// Non-blocking receive of any already-delivered packet with `tag`.
+    pub fn try_recv_packet(&mut self, tag: Tag) -> Option<Packet> {
+        if let Some(pkt) = self.mailbox.get_mut(&tag).and_then(|q| q.pop_front()) {
+            return Some(pkt);
+        }
+        while let Ok(pkt) = self.inbox.try_recv() {
+            if pkt.tag == tag {
+                return Some(pkt);
+            }
+            self.mailbox.entry(pkt.tag).or_default().push_back(pkt);
+        }
+        None
+    }
+
+    /// Receives a `Vec<T>` with `tag` from any source; returns `(src, data)`.
+    pub fn recv_vec<T: Send + 'static>(&mut self, tag: Tag) -> (usize, Vec<T>) {
+        let pkt = self.recv_packet(tag);
+        (pkt.src, downcast_payload(pkt.payload, pkt.tag))
+    }
+
+    /// Receives a single value with `tag` from any source.
+    pub fn recv_value<T: Send + 'static>(&mut self, tag: Tag) -> (usize, T) {
+        let pkt = self.recv_packet(tag);
+        (pkt.src, downcast_value(pkt.payload, pkt.tag))
+    }
+}
+
+/// Unwraps a payload known to be `Vec<T>`.
+pub fn downcast_payload<T: 'static>(payload: Box<dyn Any + Send>, tag: Tag) -> Vec<T> {
+    *payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+        panic!(
+            "payload type mismatch for tag {tag:?}: expected Vec<{}>",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Unwraps a payload known to be `T`.
+pub fn downcast_value<T: 'static>(payload: Box<dyn Any + Send>, tag: Tag) -> T {
+    *payload.downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "payload type mismatch for tag {tag:?}: expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+impl Packet {
+    /// Consumes the packet, returning its typed `Vec<T>` payload.
+    pub fn into_vec<T: 'static>(self) -> Vec<T> {
+        downcast_payload(self.payload, self.tag)
+    }
+
+    /// Consumes the packet, returning its typed value payload.
+    pub fn into_value<T: 'static>(self) -> T {
+        downcast_value(self.payload, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CommStats;
+    use std::sync::Arc;
+
+    fn fabric2() -> Vec<CommManager> {
+        CommManager::fabric(2, Arc::new(CommStats::new(2, Default::default())))
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut f = fabric2();
+        let m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let tag = Tag::user(0, 1);
+        m1.send_vec(0, tag, vec![1u64, 2, 3]);
+        let (src, data) = m0.recv_vec::<u64>(tag);
+        assert_eq!(src, 1);
+        assert_eq!(data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mailbox_holds_out_of_order_tags() {
+        let mut f = fabric2();
+        let m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let early = Tag::user(0, 2);
+        let wanted = Tag::user(0, 1);
+        m1.send_vec(0, early, vec![9u8]);
+        m1.send_vec(0, wanted, vec![7u8]);
+        let (_, first) = m0.recv_vec::<u8>(wanted);
+        assert_eq!(first, vec![7]);
+        let (_, second) = m0.recv_vec::<u8>(early);
+        assert_eq!(second, vec![9]);
+    }
+
+    #[test]
+    fn self_send_not_charged() {
+        let stats = Arc::new(CommStats::new(2, Default::default()));
+        let mut f = CommManager::fabric(2, stats.clone());
+        let _m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let tag = Tag::user(1, 0);
+        m0.send_vec(0, tag, vec![1u32, 2]);
+        let (src, v) = m0.recv_vec::<u32>(tag);
+        assert_eq!(src, 0);
+        assert_eq!(v, vec![1, 2]);
+        assert_eq!(stats.summary().bytes_sent, 0);
+    }
+
+    #[test]
+    fn remote_send_charged_by_size() {
+        let stats = Arc::new(CommStats::new(2, Default::default()));
+        let mut f = CommManager::fabric(2, stats.clone());
+        let m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let tag = Tag::user(2, 0);
+        m1.send_vec(0, tag, vec![0u64; 100]);
+        let _ = m0.recv_vec::<u64>(tag);
+        assert_eq!(stats.summary().bytes_sent, 800);
+        assert_eq!(stats.summary().messages_sent, 1);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let mut f = fabric2();
+        let _m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        assert!(m0.try_recv_packet(Tag::user(0, 0)).is_none());
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let mut f = fabric2();
+        let m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let tag = Tag::user(3, 7);
+        m1.send_value(0, tag, (42usize, 99u64));
+        let (src, v) = m0.recv_value::<(usize, u64)>(tag);
+        assert_eq!(src, 1);
+        assert_eq!(v, (42, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn type_mismatch_panics() {
+        let mut f = fabric2();
+        let m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let tag = Tag::user(4, 0);
+        m1.send_vec(0, tag, vec![1u64]);
+        let _ = m0.recv_vec::<u32>(tag);
+    }
+}

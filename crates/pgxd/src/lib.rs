@@ -1,0 +1,60 @@
+//! An in-process distributed-runtime simulator modelled on PGX.D (§III of
+//! the paper).
+//!
+//! PGX.D is Oracle's proprietary distributed graph-processing engine; this
+//! crate rebuilds the three managers the paper describes, faithfully
+//! enough that the distributed sorting algorithm on top exercises the same
+//! mechanisms the paper measures:
+//!
+//! - **Task manager** ([`task::TaskManager`]) — each machine owns a set of
+//!   worker threads that grab tasks from a shared list and execute them,
+//!   exactly the §III description of the parallel-step execution model.
+//! - **Data manager** ([`buffer::RequestBuffer`], [`csr::Csr`]) — outgoing
+//!   remote writes are buffered per destination and flushed when the
+//!   buffer reaches its maximum size (256 KiB by default, the value PGX.D
+//!   tuned empirically) or when the step ends; graph data is stored in
+//!   Compressed Sparse Row form.
+//! - **Communication manager** ([`comm`]) — point-to-point message
+//!   delivery between machines with byte/message accounting and a
+//!   [`net::NetworkModel`] that converts observed bytes into modeled wire
+//!   time for the 56 Gb/s InfiniBand fabric of Table I.
+//!
+//! A [`cluster::Cluster`] runs an SPMD closure on one OS thread per
+//! simulated machine; [`machine::MachineCtx`] gives each machine its
+//! identity, its managers, collectives (barrier / gather / broadcast /
+//! all-to-all / offset-addressed asynchronous exchange), and a per-step
+//! wall-clock timer ([`metrics::StepTimer`]) so experiments can report the
+//! Fig. 7 step breakdown.
+//!
+//! # Example
+//!
+//! ```
+//! use pgxd::cluster::{Cluster, ClusterConfig};
+//!
+//! let cluster = Cluster::new(ClusterConfig::new(4).workers_per_machine(2));
+//! let report = cluster.run(|ctx| {
+//!     // Every machine contributes its rank; machine 0 gathers them.
+//!     let rows = ctx.gather_to_master(vec![ctx.id() as u64]);
+//!     ctx.barrier();
+//!     rows.map(|r| r.concat().iter().sum::<u64>())
+//! });
+//! assert_eq!(report.results[0], Some(6));
+//! ```
+
+pub mod buffer;
+pub mod cluster;
+pub mod comm;
+pub mod csr;
+pub mod machine;
+pub mod metrics;
+pub mod net;
+pub mod partition;
+pub mod task;
+
+pub use cluster::{Cluster, ClusterConfig, RunReport};
+pub use machine::MachineCtx;
+pub use metrics::{CommSummary, StepReport};
+pub use net::NetworkModel;
+
+/// The read/request buffer size PGX.D uses (§IV-B): 256 KiB.
+pub const DEFAULT_BUFFER_BYTES: usize = 256 * 1024;

@@ -1,0 +1,402 @@
+//! Per-machine execution context: identity, managers, collectives, and
+//! step timing.
+//!
+//! A [`MachineCtx`] is handed to the SPMD closure for each simulated
+//! machine. Collectives follow MPI-style semantics: every machine must
+//! call the same collectives in the same order (an internal sequence
+//! number enforces packet matching across consecutive collectives).
+
+use crate::buffer::RequestBuffer;
+use crate::comm::{kinds, CommManager, Tag};
+use crate::metrics::{CommSummary, SharedCommStats, StepTimer};
+use crate::task::TaskManager;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::{Arc, Barrier};
+
+/// The master machine's id (the paper's "Master" is processor 0).
+pub const MASTER: usize = 0;
+
+/// Context for one simulated machine inside a running cluster.
+pub struct MachineCtx {
+    id: usize,
+    p: usize,
+    comm: CommManager,
+    task: TaskManager,
+    timer: StepTimer,
+    barrier: Arc<Barrier>,
+    buffer_bytes: usize,
+    stats: SharedCommStats,
+    collective_seq: u64,
+}
+
+impl MachineCtx {
+    pub(crate) fn new(
+        comm: CommManager,
+        task: TaskManager,
+        barrier: Arc<Barrier>,
+        buffer_bytes: usize,
+        stats: SharedCommStats,
+    ) -> Self {
+        MachineCtx {
+            id: comm.id(),
+            p: comm.num_machines(),
+            comm,
+            task,
+            timer: StepTimer::new(),
+            barrier,
+            buffer_bytes,
+            stats,
+            collective_seq: 0,
+        }
+    }
+
+    /// This machine's id in `0..num_machines()`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of machines in the cluster.
+    pub fn num_machines(&self) -> usize {
+        self.p
+    }
+
+    /// `true` on the master machine (id 0).
+    pub fn is_master(&self) -> bool {
+        self.id == MASTER
+    }
+
+    /// The machine's task manager (worker pool).
+    pub fn tasks(&self) -> &TaskManager {
+        &self.task
+    }
+
+    /// Number of worker threads on this machine.
+    pub fn workers(&self) -> usize {
+        self.task.workers()
+    }
+
+    /// The data manager's read/request buffer size in bytes (§IV-B).
+    pub fn buffer_bytes(&self) -> usize {
+        self.buffer_bytes
+    }
+
+    /// Mutable access to the raw communication manager, for protocols the
+    /// collectives don't cover.
+    pub fn comm_mut(&mut self) -> &mut CommManager {
+        &mut self.comm
+    }
+
+    /// Times `f` under `name` in this machine's step timer.
+    pub fn step<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f(self);
+        self.timer.record(name, start.elapsed());
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record_step(&mut self, name: &'static str, elapsed: std::time::Duration) {
+        self.timer.record(name, elapsed);
+    }
+
+    /// This machine's recorded step timings.
+    pub fn timer(&self) -> &StepTimer {
+        &self.timer
+    }
+
+    pub(crate) fn take_timer(&mut self) -> StepTimer {
+        std::mem::take(&mut self.timer)
+    }
+
+    /// Snapshot of the cluster-wide communication counters (useful for
+    /// bracketing a step: snapshot before and after, subtract).
+    pub fn comm_summary(&self) -> CommSummary {
+        self.stats.summary()
+    }
+
+    /// Synchronizes all machines.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.collective_seq;
+        self.collective_seq += 1;
+        s
+    }
+
+    /// Gathers one `Vec<T>` from every machine onto the master. Returns
+    /// `Some(per_source)` on the master (indexed by source id), `None`
+    /// elsewhere.
+    pub fn gather_to_master<T: Send + 'static>(&mut self, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        let tag = Tag {
+            kind: kinds::GATHER,
+            seq: self.next_seq(),
+        };
+        if self.id != MASTER {
+            self.comm.send_vec(MASTER, tag, data);
+            return None;
+        }
+        let mut parts: Vec<Option<Vec<T>>> = (0..self.p).map(|_| None).collect();
+        parts[MASTER] = Some(data);
+        for _ in 1..self.p {
+            let (src, v) = self.comm.recv_vec::<T>(tag);
+            debug_assert!(parts[src].is_none(), "duplicate gather from {src}");
+            parts[src] = Some(v);
+        }
+        Some(parts.into_iter().map(|v| v.expect("missing gather part")).collect())
+    }
+
+    /// Broadcasts a `Vec<T>` from the master to everyone. The master
+    /// passes `Some(data)`, everyone else `None`; all machines return the
+    /// broadcast value.
+    pub fn broadcast_from_master<T: Send + Clone + 'static>(
+        &mut self,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        let tag = Tag {
+            kind: kinds::BROADCAST,
+            seq: self.next_seq(),
+        };
+        if self.id == MASTER {
+            let data = data.expect("master must supply broadcast data");
+            for dst in 0..self.p {
+                if dst != MASTER {
+                    self.comm.send_vec(dst, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            let (src, v) = self.comm.recv_vec::<T>(tag);
+            debug_assert_eq!(src, MASTER);
+            v
+        }
+    }
+
+    /// Broadcasts a `Vec<T>` from an arbitrary `root` to everyone. The
+    /// root passes `Some(data)`, everyone else `None`; all machines
+    /// return the broadcast value. (The master-rooted variant keeps its
+    /// own tag namespace for §IV step-3 clarity.)
+    pub fn broadcast_from<T: Send + Clone + 'static>(
+        &mut self,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        assert!(root < self.p, "broadcast root out of range");
+        let tag = Tag {
+            kind: kinds::BROADCAST,
+            seq: self.next_seq(),
+        };
+        if self.id == root {
+            let data = data.expect("root must supply broadcast data");
+            for dst in 0..self.p {
+                if dst != root {
+                    self.comm.send_vec(dst, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            let (src, v) = self.comm.recv_vec::<T>(tag);
+            debug_assert_eq!(src, root);
+            v
+        }
+    }
+
+    /// Simple all-to-all: machine `i` sends `parts[j]` to machine `j`;
+    /// returns the `p` vectors received, indexed by source.
+    pub fn all_to_all<T: Send + 'static>(&mut self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(parts.len(), self.p, "one part per destination required");
+        let tag = Tag {
+            kind: kinds::ALL_TO_ALL,
+            seq: self.next_seq(),
+        };
+        let mut received: Vec<Option<Vec<T>>> = (0..self.p).map(|_| None).collect();
+        let mut parts = parts;
+        // Stagger destinations so machine 0 isn't everyone's first target.
+        for step in 1..self.p {
+            let dst = (self.id + step) % self.p;
+            let payload = std::mem::take(&mut parts[dst]);
+            self.comm.send_vec(dst, tag, payload);
+        }
+        received[self.id] = Some(std::mem::take(&mut parts[self.id]));
+        for _ in 1..self.p {
+            let (src, v) = self.comm.recv_vec::<T>(tag);
+            debug_assert!(received[src].is_none());
+            received[src] = Some(v);
+        }
+        received
+            .into_iter()
+            .map(|v| v.expect("missing all_to_all part"))
+            .collect()
+    }
+
+    /// All-gather: everyone contributes a `Vec<T>` and receives all `p`
+    /// contributions, indexed by source.
+    pub fn all_gather<T: Send + Clone + 'static>(&mut self, data: Vec<T>) -> Vec<Vec<T>> {
+        let tag = Tag {
+            kind: kinds::ALL_GATHER,
+            seq: self.next_seq(),
+        };
+        for dst in 0..self.p {
+            if dst != self.id {
+                self.comm.send_vec(dst, tag, data.clone());
+            }
+        }
+        let mut received: Vec<Option<Vec<T>>> = (0..self.p).map(|_| None).collect();
+        received[self.id] = Some(data);
+        for _ in 1..self.p {
+            let (src, v) = self.comm.recv_vec::<T>(tag);
+            debug_assert!(received[src].is_none());
+            received[src] = Some(v);
+        }
+        received
+            .into_iter()
+            .map(|v| v.expect("missing all_gather part"))
+            .collect()
+    }
+
+    /// The §IV-C asynchronous exchange. `data` is this machine's local
+    /// array; `send_offsets` (`p + 1` entries) assigns
+    /// `data[send_offsets[j]..send_offsets[j+1]]` to destination `j`.
+    ///
+    /// Semantics reproduced from the paper:
+    /// 1. per-destination element counts are exchanged first, so every
+    ///    receiver can preallocate its output and every sender knows the
+    ///    receiver-side offset to address its chunks at;
+    /// 2. data moves in data-manager buffer-sized chunks
+    ///    ([`MachineCtx::buffer_bytes`]) addressed to absolute offsets, so
+    ///    the receiver writes each arriving chunk straight into place
+    ///    while still sending its own outgoing data (no barrier between
+    ///    send and receive);
+    /// 3. returns `(assembled, source_bounds)` where
+    ///    `assembled[source_bounds[s]..source_bounds[s+1]]` is the run
+    ///    received from machine `s` (runs stay contiguous so the final
+    ///    merge can consume them and provenance stays recoverable).
+    pub fn exchange_by_offsets<T: Copy + Send + 'static>(
+        &mut self,
+        data: &[T],
+        send_offsets: &[usize],
+    ) -> (Vec<T>, Vec<usize>) {
+        assert_eq!(send_offsets.len(), self.p + 1, "need p+1 send offsets");
+        assert_eq!(*send_offsets.last().unwrap(), data.len());
+
+        // --- 1. count exchange ------------------------------------------------
+        let counts_tag = Tag {
+            kind: kinds::EXCHANGE_COUNTS,
+            seq: self.next_seq(),
+        };
+        let my_counts: Vec<u64> = (0..self.p)
+            .map(|j| (send_offsets[j + 1] - send_offsets[j]) as u64)
+            .collect();
+        let matrix = self.all_gather_with_tag(my_counts, counts_tag);
+
+        // Receiver layout: arrivals from lower-numbered sources first.
+        let mut source_bounds = Vec::with_capacity(self.p + 1);
+        source_bounds.push(0usize);
+        for src in 0..self.p {
+            let c = matrix[src][self.id] as usize;
+            source_bounds.push(source_bounds[src] + c);
+        }
+        let total = source_bounds[self.p];
+
+        // Sender-side base offset at each destination.
+        let my_base_at: Vec<usize> = (0..self.p)
+            .map(|dst| (0..self.id).map(|s| matrix[s][dst] as usize).sum())
+            .collect();
+
+        // --- 2. overlapped send/receive --------------------------------------
+        let data_tag = Tag {
+            kind: kinds::EXCHANGE_DATA,
+            seq: self.next_seq(),
+        };
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(total);
+        // SAFETY: MaybeUninit slots carry no validity invariant; every slot
+        // is written exactly once below (self-copy + per-source chunks tile
+        // [0, total) by construction of the count matrix), asserted by the
+        // `written` accounting before the final transmute.
+        unsafe { out.set_len(total) };
+        let mut written = 0usize;
+
+        // Self part: copied straight into place, no fabric involved.
+        {
+            let self_slice = &data[send_offsets[self.id]..send_offsets[self.id + 1]];
+            let base = source_bounds[self.id];
+            for (i, &v) in self_slice.iter().enumerate() {
+                out[base + i] = MaybeUninit::new(v);
+            }
+            written += self_slice.len();
+        }
+
+        let expected_remote = total - (matrix[self.id][self.id] as usize);
+        let sender = self.comm.sender();
+        let mut remote_received = 0usize;
+
+        // Send to each destination in staggered order, draining arrivals
+        // between flushes (send-while-receive).
+        for step in 1..self.p {
+            let dst = (self.id + step) % self.p;
+            let slice = &data[send_offsets[dst]..send_offsets[dst + 1]];
+            if !slice.is_empty() {
+                let mut buf: RequestBuffer<T> =
+                    RequestBuffer::new(dst, data_tag, self.buffer_bytes, my_base_at[dst]);
+                buf.push_slice(slice, &sender);
+                buf.flush(&sender);
+            }
+            // Drain anything that has already arrived.
+            while let Some(pkt) = self.comm.try_recv_packet(data_tag) {
+                let (offset, chunk) = pkt.into_value::<(usize, Vec<T>)>();
+                for (i, &v) in chunk.iter().enumerate() {
+                    out[offset + i] = MaybeUninit::new(v);
+                }
+                remote_received += chunk.len();
+                written += chunk.len();
+            }
+        }
+
+        // Block for the rest.
+        while remote_received < expected_remote {
+            let pkt = self.comm.recv_packet(data_tag);
+            let (offset, chunk) = pkt.into_value::<(usize, Vec<T>)>();
+            for (i, &v) in chunk.iter().enumerate() {
+                out[offset + i] = MaybeUninit::new(v);
+            }
+            remote_received += chunk.len();
+            written += chunk.len();
+        }
+        assert_eq!(written, total, "exchange did not fill the output buffer");
+
+        // SAFETY: all `total` slots initialized (asserted above);
+        // Vec<MaybeUninit<T>> and Vec<T> share layout for the same T.
+        let out = {
+            let mut md = ManuallyDrop::new(out);
+            let (ptr, len, cap) = (md.as_mut_ptr(), md.len(), md.capacity());
+            unsafe { Vec::from_raw_parts(ptr as *mut T, len, cap) }
+        };
+        (out, source_bounds)
+    }
+
+    /// All-gather with a caller-provided tag (used by the exchange's count
+    /// phase so counts and data cannot be confused).
+    fn all_gather_with_tag<T: Send + Clone + 'static>(
+        &mut self,
+        data: Vec<T>,
+        tag: Tag,
+    ) -> Vec<Vec<T>> {
+        for dst in 0..self.p {
+            if dst != self.id {
+                self.comm.send_vec(dst, tag, data.clone());
+            }
+        }
+        let mut received: Vec<Option<Vec<T>>> = (0..self.p).map(|_| None).collect();
+        received[self.id] = Some(data);
+        for _ in 1..self.p {
+            let (src, v) = self.comm.recv_vec::<T>(tag);
+            debug_assert!(received[src].is_none());
+            received[src] = Some(v);
+        }
+        received
+            .into_iter()
+            .map(|v| v.expect("missing all_gather part"))
+            .collect()
+    }
+}

@@ -1,0 +1,311 @@
+//! Runtime metrics: communication accounting and per-step wall timers.
+//!
+//! Every experiment in the paper's §V reads one of these: Fig. 5/6/8 read
+//! total wall time, Fig. 7 reads the per-step breakdown, Fig. 9 reads
+//! communication bytes / modeled wire time, Table II/III read the load
+//! statistics the sort itself reports.
+
+use crate::net::NetworkModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster-wide communication counters, shared by every machine's comm
+/// manager. All counters are monotonic and relaxed — they are statistics,
+/// not synchronization.
+#[derive(Debug)]
+pub struct CommStats {
+    /// Payload bytes handed to the fabric (sender side).
+    pub bytes_sent: AtomicU64,
+    /// Number of packets handed to the fabric.
+    pub messages_sent: AtomicU64,
+    /// Modeled wire nanoseconds accumulated from the network model.
+    pub modeled_wire_nanos: AtomicU64,
+    /// Bytes addressed to each machine — the per-receiver view that
+    /// exposes hotspots (a bad splitter overloads one receiver's link
+    /// even when the aggregate volume is unchanged).
+    per_dst_bytes: Vec<AtomicU64>,
+    net: NetworkModel,
+}
+
+impl Default for CommStats {
+    /// Stats with no per-destination tracking (tests, ad-hoc fabrics).
+    fn default() -> Self {
+        CommStats::new(0, NetworkModel::default())
+    }
+}
+
+impl CommStats {
+    /// Stats for a `p`-machine cluster under the given network model.
+    pub fn new(p: usize, net: NetworkModel) -> Self {
+        CommStats {
+            bytes_sent: AtomicU64::new(0),
+            messages_sent: AtomicU64::new(0),
+            modeled_wire_nanos: AtomicU64::new(0),
+            per_dst_bytes: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            net,
+        }
+    }
+
+    /// Records one packet of `bytes` addressed to machine `dst`.
+    pub fn record_packet(&self, bytes: usize, dst: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.modeled_wire_nanos.fetch_add(
+            self.net.packet_time(bytes).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        if let Some(slot) = self.per_dst_bytes.get(dst) {
+            slot.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn summary(&self) -> CommSummary {
+        let per_dst: Vec<u64> = self
+            .per_dst_bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let max_recv = per_dst.iter().copied().max().unwrap_or(0);
+        CommSummary {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            modeled_wire_time: Duration::from_nanos(self.modeled_wire_nanos.load(Ordering::Relaxed)),
+            max_recv_bytes: max_recv,
+            bottleneck_wire_time: Duration::from_secs_f64(
+                max_recv as f64 / self.net.bandwidth_bytes_per_sec,
+            ),
+        }
+    }
+}
+
+/// Immutable snapshot of [`CommStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommSummary {
+    /// Payload bytes handed to the fabric.
+    pub bytes_sent: u64,
+    /// Packets handed to the fabric.
+    pub messages_sent: u64,
+    /// Wire time the network model charges for that traffic in aggregate.
+    pub modeled_wire_time: Duration,
+    /// Bytes addressed to the most-loaded receiver.
+    pub max_recv_bytes: u64,
+    /// Wire time of the most-loaded receiver's inbound link — the
+    /// hotspot view of communication overhead (Fig. 9).
+    pub bottleneck_wire_time: Duration,
+}
+
+impl CommSummary {
+    /// Difference between two snapshots (later minus earlier) for the
+    /// monotonic scalar counters. The hotspot fields (`max_recv_bytes`,
+    /// `bottleneck_wire_time`) are kept from `self` — a max is not
+    /// delta-able.
+    pub fn delta_since(&self, earlier: &CommSummary) -> CommSummary {
+        CommSummary {
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            modeled_wire_time: self.modeled_wire_time - earlier.modeled_wire_time,
+            max_recv_bytes: self.max_recv_bytes,
+            bottleneck_wire_time: self.bottleneck_wire_time,
+        }
+    }
+}
+
+/// Wall-clock timer for named algorithm steps, one per machine.
+///
+/// The sorting algorithm brackets each of its six §IV steps with
+/// [`StepTimer::time`]; the cluster report aggregates them into the Fig. 7
+/// breakdown.
+#[derive(Debug, Default)]
+pub struct StepTimer {
+    steps: Vec<(&'static str, Duration)>,
+}
+
+impl StepTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, recording the duration under `name`. Repeated names
+    /// accumulate (useful for loops).
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Records an externally measured duration under `name`.
+    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+        if let Some(entry) = self.steps.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += elapsed;
+        } else {
+            self.steps.push((name, elapsed));
+        }
+    }
+
+    /// The recorded `(name, total duration)` pairs, in first-seen order.
+    pub fn steps(&self) -> &[(&'static str, Duration)] {
+        &self.steps
+    }
+
+    /// Duration recorded for `name` (zero if absent).
+    pub fn get(&self, name: &str) -> Duration {
+        self.steps
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Sum of all recorded steps.
+    pub fn total(&self) -> Duration {
+        self.steps.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// Per-machine step timings collected after a cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// `per_machine[m]` = the `(step, duration)` list machine `m` recorded.
+    pub per_machine: Vec<Vec<(&'static str, Duration)>>,
+}
+
+impl StepReport {
+    /// Maximum duration of `step` across machines — the critical-path view
+    /// used by Fig. 7 (a step is as slow as its slowest machine).
+    pub fn max_across_machines(&self, step: &str) -> Duration {
+        self.per_machine
+            .iter()
+            .map(|steps| {
+                steps
+                    .iter()
+                    .find(|(n, _)| *n == step)
+                    .map(|(_, d)| *d)
+                    .unwrap_or_default()
+            })
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Mean duration of `step` across machines.
+    pub fn mean_across_machines(&self, step: &str) -> Duration {
+        if self.per_machine.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self
+            .per_machine
+            .iter()
+            .map(|steps| {
+                steps
+                    .iter()
+                    .find(|(n, _)| *n == step)
+                    .map(|(_, d)| *d)
+                    .unwrap_or_default()
+            })
+            .sum();
+        total / self.per_machine.len() as u32
+    }
+
+    /// All step names observed, in first-seen order across machines.
+    pub fn step_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for steps in &self.per_machine {
+            for (n, _) in steps {
+                if !names.contains(n) {
+                    names.push(n);
+                }
+            }
+        }
+        names
+    }
+}
+
+/// Shared handle to cluster-wide stats, cloned into every machine.
+pub type SharedCommStats = Arc<CommStats>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_stats_accumulate() {
+        let net = NetworkModel::infiniband_56g();
+        let stats = CommStats::new(2, net);
+        stats.record_packet(1000, 0);
+        stats.record_packet(2000, 1);
+        let s = stats.summary();
+        assert_eq!(s.bytes_sent, 3000);
+        assert_eq!(s.messages_sent, 2);
+        assert!(s.modeled_wire_time >= net.latency * 2);
+        assert_eq!(s.max_recv_bytes, 2000);
+        assert!(s.bottleneck_wire_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn comm_summary_delta() {
+        let stats = CommStats::default();
+        stats.record_packet(100, 0);
+        let before = stats.summary();
+        stats.record_packet(900, 1);
+        let delta = stats.summary().delta_since(&before);
+        assert_eq!(delta.bytes_sent, 900);
+        assert_eq!(delta.messages_sent, 1);
+    }
+
+    #[test]
+    fn hotspot_tracking_finds_overloaded_receiver() {
+        let stats = CommStats::new(4, NetworkModel::default());
+        for dst in 0..4 {
+            stats.record_packet(100, dst);
+        }
+        stats.record_packet(5000, 2); // hotspot
+        let s = stats.summary();
+        assert_eq!(s.max_recv_bytes, 5100);
+        // Out-of-range destinations are counted in totals only.
+        stats.record_packet(50, 99);
+        assert_eq!(stats.summary().bytes_sent, s.bytes_sent + 50);
+        assert_eq!(stats.summary().max_recv_bytes, 5100);
+    }
+
+    #[test]
+    fn step_timer_accumulates_repeats() {
+        let mut t = StepTimer::new();
+        t.record("merge", Duration::from_millis(5));
+        t.record("merge", Duration::from_millis(7));
+        t.record("sample", Duration::from_millis(1));
+        assert_eq!(t.get("merge"), Duration::from_millis(12));
+        assert_eq!(t.get("sample"), Duration::from_millis(1));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+        assert_eq!(t.total(), Duration::from_millis(13));
+        assert_eq!(t.steps().len(), 2);
+    }
+
+    #[test]
+    fn step_timer_times_closures() {
+        let mut t = StepTimer::new();
+        let out = t.time("work", || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(t.get("work") >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn step_report_aggregations() {
+        let report = StepReport {
+            per_machine: vec![
+                vec![("a", Duration::from_millis(10)), ("b", Duration::from_millis(1))],
+                vec![("a", Duration::from_millis(20))],
+            ],
+        };
+        assert_eq!(report.max_across_machines("a"), Duration::from_millis(20));
+        assert_eq!(report.mean_across_machines("a"), Duration::from_millis(15));
+        assert_eq!(report.max_across_machines("b"), Duration::from_millis(1));
+        assert_eq!(report.step_names(), vec!["a", "b"]);
+        assert_eq!(report.max_across_machines("zz"), Duration::ZERO);
+    }
+}

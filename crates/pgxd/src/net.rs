@@ -1,0 +1,95 @@
+//! Network cost model for the simulated fabric.
+//!
+//! The paper's cluster (Table I) uses Mellanox Connect-IB at 56 Gb/s per
+//! port. Our machines exchange data through in-process channels, so the
+//! *observed* quantity is bytes moved; this model converts bytes into the
+//! wire time that fabric would have charged, which the experiment harness
+//! reports as "modeled communication time" next to measured wall time.
+
+use std::time::Duration;
+
+/// Latency + bandwidth model: `time(bytes) = latency + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way message latency charged per packet.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetworkModel {
+    /// The Table I fabric: 56 Gb/s InfiniBand, ~1.5 µs port-to-port latency
+    /// (typical for the SX6512 switch generation).
+    pub fn infiniband_56g() -> Self {
+        NetworkModel {
+            latency: Duration::from_nanos(1_500),
+            bandwidth_bytes_per_sec: 56.0e9 / 8.0,
+        }
+    }
+
+    /// A 10 GbE-class commodity network, for sensitivity studies.
+    pub fn ethernet_10g() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(20),
+            bandwidth_bytes_per_sec: 10.0e9 / 8.0,
+        }
+    }
+
+    /// Wire time for one packet of `bytes` payload.
+    pub fn packet_time(&self, bytes: usize) -> Duration {
+        let transfer = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec);
+        self.latency + transfer
+    }
+
+    /// Wire time for `packets` packets totalling `bytes`, assuming they
+    /// stream back-to-back over one port (latency charged per packet,
+    /// bandwidth shared).
+    pub fn stream_time(&self, packets: u64, bytes: u64) -> Duration {
+        let transfer = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec);
+        self.latency * (packets as u32) + transfer
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::infiniband_56g()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_time_scales_with_bytes() {
+        let net = NetworkModel::infiniband_56g();
+        let small = net.packet_time(1024);
+        let big = net.packet_time(1024 * 1024);
+        assert!(big > small);
+        // 1 MiB at 7 GB/s is ~150 µs.
+        assert!(big > Duration::from_micros(100));
+        assert!(big < Duration::from_micros(400));
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_latency() {
+        let net = NetworkModel::infiniband_56g();
+        assert_eq!(net.packet_time(0), net.latency);
+    }
+
+    #[test]
+    fn stream_time_charges_per_packet_latency() {
+        let net = NetworkModel::infiniband_56g();
+        let one = net.stream_time(1, 1 << 20);
+        let many = net.stream_time(100, 1 << 20);
+        assert!(many > one);
+        assert_eq!(many - one, net.latency * 99);
+    }
+
+    #[test]
+    fn ethernet_slower_than_ib() {
+        let ib = NetworkModel::infiniband_56g();
+        let eth = NetworkModel::ethernet_10g();
+        assert!(eth.packet_time(1 << 20) > ib.packet_time(1 << 20));
+    }
+}

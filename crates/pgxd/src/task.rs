@@ -1,0 +1,232 @@
+//! The task manager (§III): each machine runs parallel steps by putting
+//! tasks on a list and letting a set of worker threads grab and execute
+//! them.
+//!
+//! Faithful to the paper's description at the level that matters for the
+//! sort: work is expressed as a task list, every worker pulls the next
+//! task when it finishes its current one (so uneven tasks self-balance),
+//! and a parallel step completes when the list is drained.
+
+use crossbeam::channel;
+
+/// A machine's worker-pool handle. Cloneable and cheap; the workers are
+/// scoped to each [`TaskManager::run_tasks`] call, which both keeps the
+/// implementation entirely safe and models the paper's "a list of tasks
+/// is created at the beginning of each parallel step".
+#[derive(Debug, Clone, Copy)]
+pub struct TaskManager {
+    workers: usize,
+}
+
+impl TaskManager {
+    /// A task manager with `workers` worker threads (min 1).
+    pub fn new(workers: usize) -> Self {
+        TaskManager {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes every task on the worker pool and waits for completion.
+    /// Workers grab tasks from the shared list as they free up.
+    pub fn run_tasks<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let workers = self.workers.min(tasks.len());
+        if workers == 1 {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        let (tx, rx) = channel::unbounded::<Box<dyn FnOnce() + Send + 'env>>();
+        for t in tasks {
+            tx.send(t).expect("task queue closed");
+        }
+        drop(tx); // workers exit when the list drains
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        task();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Runs one closure per item on the pool and collects the results in
+    /// input order.
+    pub fn run_tasks_collecting<I, R, F>(&self, items: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send + Default,
+        F: Fn(usize, I) -> R + Sync,
+    {
+        let mut out: Vec<R> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), R::default);
+        {
+            let f = &f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+                .iter_mut()
+                .zip(items)
+                .enumerate()
+                .map(|(i, (slot, item))| {
+                    Box::new(move || *slot = f(i, item)) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.run_tasks(tasks);
+        }
+        out
+    }
+
+    /// Parallel-for over `count` indices: `f(i)` runs as `count` tasks on
+    /// the pool.
+    pub fn parallel_for<F>(&self, count: usize, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..count)
+            .map(|i| Box::new(move || f(i)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        self.run_tasks(tasks);
+    }
+
+    /// Splits `data` into one even chunk per worker and runs
+    /// `f(worker_index, chunk)` on the pool.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync + Send,
+    {
+        let parts = self.workers.min(data.len()).max(1);
+        if parts == 1 {
+            f(0, data);
+            return;
+        }
+        let base = data.len() / parts;
+        let extra = data.len() % parts;
+        let f = &f;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts);
+        let mut rest = data;
+        for w in 0..parts {
+            let take = base + usize::from(w < extra);
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            tasks.push(Box::new(move || f(w, chunk)));
+        }
+        self.run_tasks(tasks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_tasks_executes_all() {
+        let tm = TaskManager::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        tm.run_tasks(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let tm = TaskManager::new(1);
+        let mut touched = false;
+        // With one worker the tasks run on the caller thread, so a plain
+        // &mut capture is fine.
+        let t: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| touched = true)];
+        tm.run_tasks(t);
+        assert!(touched);
+    }
+
+    #[test]
+    fn run_tasks_collecting_preserves_order() {
+        let tm = TaskManager::new(4);
+        let items: Vec<u64> = (0..200).collect();
+        let out = tm.run_tasks_collecting(items, |i, x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert!(out.iter().enumerate().all(|(i, &r)| r == 3 * i as u64));
+    }
+
+    #[test]
+    fn run_tasks_collecting_empty() {
+        let tm = TaskManager::new(2);
+        let out: Vec<u8> = tm.run_tasks_collecting(Vec::<u8>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_for_covers_range() {
+        let tm = TaskManager::new(3);
+        let hits = AtomicUsize::new(0);
+        tm.parallel_for(57, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn par_chunks_mut_transforms_everything() {
+        let tm = TaskManager::new(4);
+        let mut v: Vec<u64> = (0..1003).collect();
+        tm.par_chunks_mut(&mut v, |_, chunk| {
+            for x in chunk {
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn par_chunks_empty() {
+        let tm = TaskManager::new(4);
+        let mut v: Vec<u64> = vec![];
+        tm.par_chunks_mut(&mut v, |_, c| assert!(c.is_empty()));
+    }
+
+    #[test]
+    fn uneven_tasks_self_balance() {
+        // One long task plus many short ones: all must finish.
+        let tm = TaskManager::new(2);
+        let done = AtomicUsize::new(0);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            done.fetch_add(1, Ordering::Relaxed);
+        })];
+        for _ in 0..50 {
+            let d = &done;
+            tasks.push(Box::new(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        tm.run_tasks(tasks);
+        assert_eq!(done.load(Ordering::Relaxed), 51);
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        let tm = TaskManager::new(0);
+        assert_eq!(tm.workers(), 1);
+    }
+}

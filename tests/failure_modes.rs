@@ -1,0 +1,179 @@
+//! Failure and adversity injection: the sort must stay correct under
+//! stragglers, extreme skew, degenerate data, and hostile configurations
+//! (the asynchronous execution the paper touts must tolerate slow
+//! machines without deadlock or data loss).
+
+use pgxd::cluster::{Cluster, ClusterConfig};
+use pgxd_core::{DistSorter, SortConfig};
+use pgxd_datagen::{generate_partitioned, partition_even, Distribution};
+use std::time::Duration;
+
+fn flat_sorted(parts: &[Vec<u64>]) -> Vec<u64> {
+    let mut all: Vec<u64> = parts.concat();
+    all.sort_unstable();
+    all
+}
+
+#[test]
+fn straggler_machine_does_not_break_the_sort() {
+    // One machine enters every step late; the async exchange and the
+    // mailbox must absorb the skew.
+    let machines = 4;
+    let parts = generate_partitioned(Distribution::Uniform, 8000, machines, 1);
+    let expect = flat_sorted(&parts);
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+    let sorter = DistSorter::default();
+    let report = cluster.run(|ctx| {
+        if ctx.id() == 2 {
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let out = sorter.sort(ctx, parts[ctx.id()].clone());
+        if ctx.id() == 2 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        out.data
+    });
+    assert_eq!(report.results.concat(), expect);
+}
+
+#[test]
+fn alternating_stragglers_across_repeated_sorts() {
+    // Different machine lags in each of three consecutive sorts on the
+    // same cluster run: collective sequence numbers must keep packets of
+    // different rounds apart.
+    let machines = 3;
+    let rounds: Vec<Vec<Vec<u64>>> = (0..3)
+        .map(|r| generate_partitioned(Distribution::Exponential, 3000, machines, r as u64 + 10))
+        .collect();
+    let expects: Vec<Vec<u64>> = rounds.iter().map(|p| flat_sorted(p)).collect();
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+    let sorter = DistSorter::default();
+    let rounds_ref = &rounds;
+    let report = cluster.run(|ctx| {
+        let mut outs = Vec::new();
+        for (r, round) in rounds_ref.iter().enumerate() {
+            if ctx.id() == r % 3 {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            outs.push(sorter.sort(ctx, round[ctx.id()].clone()).data);
+        }
+        outs
+    });
+    for r in 0..3 {
+        let got: Vec<u64> = report
+            .results
+            .iter()
+            .flat_map(|outs| outs[r].clone())
+            .collect();
+        assert_eq!(got, expects[r], "round {r}");
+    }
+}
+
+#[test]
+fn single_value_dataset_survives_every_config() {
+    let machines = 6;
+    let parts: Vec<Vec<u64>> = (0..machines).map(|_| vec![u64::MAX; 500]).collect();
+    for investigator in [true, false] {
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::new(SortConfig::default().investigator(investigator));
+        let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+        let flat: Vec<u64> = report.results.concat();
+        assert_eq!(flat.len(), machines * 500);
+        assert!(flat.iter().all(|&x| x == u64::MAX));
+    }
+}
+
+#[test]
+fn extreme_key_values_roundtrip() {
+    let machines = 3;
+    let special = [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1];
+    let mut data = Vec::new();
+    for i in 0..999u64 {
+        data.push(special[i as usize % special.len()]);
+    }
+    let parts = partition_even(&data, machines);
+    let expect = flat_sorted(&parts);
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+    let sorter = DistSorter::default();
+    let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+    assert_eq!(report.results.concat(), expect);
+}
+
+#[test]
+fn one_element_per_machine() {
+    let machines = 5;
+    let parts: Vec<Vec<u64>> = (0..machines).map(|m| vec![(machines - m) as u64]).collect();
+    let expect = flat_sorted(&parts);
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(4));
+    let sorter = DistSorter::default();
+    let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+    assert_eq!(report.results.concat(), expect);
+}
+
+#[test]
+fn pathological_buffer_of_one_element() {
+    // 8-byte buffers: every exchanged key is its own packet.
+    let machines = 3;
+    let parts = generate_partitioned(Distribution::Normal, 1500, machines, 5);
+    let expect = flat_sorted(&parts);
+    let cluster = Cluster::new(
+        ClusterConfig::new(machines)
+            .workers_per_machine(1)
+            .buffer_bytes(8),
+    );
+    let sorter = DistSorter::default();
+    let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+    assert_eq!(report.results.concat(), expect);
+}
+
+#[test]
+fn oversubscribed_workers_are_safe() {
+    // Far more workers than items: the clamps must keep chunking sane.
+    let machines = 2;
+    let parts = generate_partitioned(Distribution::Uniform, 200, machines, 6);
+    let expect = flat_sorted(&parts);
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(64));
+    let sorter = DistSorter::default();
+    let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+    assert_eq!(report.results.concat(), expect);
+}
+
+#[test]
+fn adversarial_presorted_shards_with_disjoint_ranges() {
+    // Shards already range-partitioned in *reverse* machine order: the
+    // sort must fully re-shuffle them.
+    let machines = 4;
+    let parts: Vec<Vec<u64>> = (0..machines)
+        .map(|m| {
+            let base = ((machines - 1 - m) * 10_000) as u64;
+            (0..2500).map(|i| base + i).collect()
+        })
+        .collect();
+    let expect = flat_sorted(&parts);
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+    let sorter = DistSorter::default();
+    let report = cluster.run(|ctx| {
+        let part = sorter.sort(ctx, parts[ctx.id()].clone());
+        let range = part.range().map(|(a, b)| (*a, *b));
+        (part.data, range)
+    });
+    let flat: Vec<u64> = report.results.iter().flat_map(|(d, _)| d.clone()).collect();
+    assert_eq!(flat, expect);
+    // Machine 0 must now hold the smallest range (it originally held the
+    // largest).
+    let (_, first_range) = &report.results[0];
+    assert_eq!(first_range.unwrap().0, 0);
+}
+
+#[test]
+fn many_machines_tiny_data() {
+    // More machines than elements.
+    let machines = 12;
+    let data: Vec<u64> = (0..7).rev().collect();
+    let parts = partition_even(&data, machines);
+    let expect = flat_sorted(&parts);
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+    let sorter = DistSorter::default();
+    let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+    assert_eq!(report.results.concat(), expect);
+}

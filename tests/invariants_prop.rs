@@ -1,0 +1,187 @@
+//! Property-based integration tests: for *arbitrary* inputs, machine
+//! counts, duplication levels, and configurations, every sorter must
+//! produce a sorted permutation, the investigator must tile the input,
+//! and provenance must be a bijection.
+
+use pgxd::cluster::{Cluster, ClusterConfig};
+use pgxd_baselines::SparkEngine;
+use pgxd_core::investigator::splitter_offsets_investigated;
+use pgxd_core::{DistSorter, SortConfig};
+use pgxd_datagen::partition_even;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+fn sorted_copy(v: &[u64]) -> Vec<u64> {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_sort_is_sorted_permutation(
+        data in pvec(any::<u64>(), 0..3000),
+        machines in 1usize..7,
+        workers in 1usize..3,
+    ) {
+        let parts = partition_even(&data, machines);
+        let expect = sorted_copy(&data);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(workers));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+        prop_assert_eq!(report.results.concat(), expect);
+    }
+
+    #[test]
+    fn distributed_sort_heavy_duplicates(
+        data in pvec(0u64..6, 0..3000),
+        machines in 1usize..7,
+    ) {
+        let parts = partition_even(&data, machines);
+        let expect = sorted_copy(&data);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+        prop_assert_eq!(report.results.concat(), expect);
+    }
+
+    #[test]
+    fn spark_sim_is_sorted_permutation(
+        data in pvec(any::<u64>(), 0..2000),
+        machines in 1usize..6,
+    ) {
+        let parts = partition_even(&data, machines);
+        let expect = sorted_copy(&data);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let engine = SparkEngine::default();
+        let report = cluster.run(|ctx| engine.sort_by_key(ctx, parts[ctx.id()].clone()).data);
+        prop_assert_eq!(report.results.concat(), expect);
+    }
+
+    #[test]
+    fn investigator_offsets_tile_any_sorted_input(
+        mut data in pvec(0u64..50, 0..500),
+        mut splitters in pvec(0u64..50, 0..12),
+    ) {
+        data.sort_unstable();
+        splitters.sort_unstable();
+        let offsets = splitter_offsets_investigated(&data, &splitters);
+        prop_assert_eq!(offsets.len(), splitters.len() + 2);
+        prop_assert_eq!(offsets[0], 0);
+        prop_assert_eq!(*offsets.last().unwrap(), data.len());
+        for w in offsets.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Range contents respect the splitter order: everything sent to
+        // destination j is <= everything sent to destination j+1.
+        for j in 0..offsets.len() - 2 {
+            let a = &data[offsets[j]..offsets[j + 1]];
+            let b = &data[offsets[j + 1]..offsets[j + 2]];
+            if let (Some(&amax), Some(&bmin)) = (a.last(), b.first()) {
+                prop_assert!(amax <= bmin);
+            }
+        }
+    }
+
+    #[test]
+    fn provenance_is_a_bijection(
+        data in pvec(any::<u64>(), 1..1500),
+        machines in 1usize..5,
+    ) {
+        let parts = partition_even(&data, machines);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| sorter.sort_keyed(ctx, &parts[ctx.id()]).data);
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0;
+        for item in report.results.iter().flatten() {
+            // Every provenance pair unique, every key correct.
+            prop_assert!(seen.insert((item.origin, item.index)));
+            prop_assert_eq!(parts[item.origin as usize][item.index as usize], item.key);
+            count += 1;
+        }
+        prop_assert_eq!(count, data.len());
+    }
+
+    #[test]
+    fn investigator_never_worse_balance_than_naive_on_uniform_splitters(
+        data in pvec(0u64..8, 50..800),
+        machines in 2usize..8,
+    ) {
+        // On heavily duplicated data, the investigator's max share must
+        // not exceed the naive partitioner's max share.
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        // Build splitters the way the sort would: regular positions.
+        let p = machines;
+        let splitters: Vec<u64> =
+            (0..p - 1).map(|j| sorted[(j + 1) * sorted.len() / p]).collect();
+        let inv = splitter_offsets_investigated(&sorted, &splitters);
+        let naive = pgxd_algos::search::naive_splitter_offsets(&sorted, &splitters);
+        let max_share = |off: &[usize]| {
+            off.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+        };
+        prop_assert!(max_share(&inv) <= max_share(&naive));
+    }
+
+    #[test]
+    fn batch_sort_each_batch_is_sorted_permutation(
+        batch_a in pvec(any::<u64>(), 0..1200),
+        batch_b in pvec(0u64..5, 0..1200),
+        machines in 1usize..5,
+    ) {
+        let parts_a = partition_even(&batch_a, machines);
+        let parts_b = partition_even(&batch_b, machines);
+        let expect_a = sorted_copy(&batch_a);
+        let expect_b = sorted_copy(&batch_b);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let out = sorter.sort_batch(
+                ctx,
+                vec![parts_a[ctx.id()].clone(), parts_b[ctx.id()].clone()],
+            );
+            (out[0].data.clone(), out[1].data.clone())
+        });
+        let got_a: Vec<u64> = report.results.iter().flat_map(|(a, _)| a.clone()).collect();
+        let got_b: Vec<u64> = report.results.iter().flat_map(|(_, b)| b.clone()).collect();
+        prop_assert_eq!(got_a, expect_a);
+        prop_assert_eq!(got_b, expect_b);
+    }
+
+    #[test]
+    fn string_keys_sort_like_strings(
+        words in pvec("[a-z]{0,12}", 0..600),
+        machines in 1usize..5,
+    ) {
+        use pgxd_algos::FixedStr;
+        let keys: Vec<FixedStr<12>> = words.iter().map(|w| FixedStr::new(w)).collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let sorted = pgxd_core::sort_all(keys, machines, 1);
+        prop_assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn sort_all_matches_std(data in pvec(any::<u64>(), 0..2000), machines in 1usize..6) {
+        let expect = sorted_copy(&data);
+        prop_assert_eq!(pgxd_core::sort_all(data, machines, 2), expect);
+    }
+
+    #[test]
+    fn sample_factor_sweep_stays_correct(
+        data in pvec(any::<u64>(), 0..1200),
+        factor_milli in 1u64..2000,
+    ) {
+        let machines = 4;
+        let parts = partition_even(&data, machines);
+        let expect = sorted_copy(&data);
+        let config = SortConfig::default().sample_factor(factor_milli as f64 / 1000.0);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(1));
+        let sorter = DistSorter::new(config);
+        let report = cluster.run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data);
+        prop_assert_eq!(report.results.concat(), expect);
+    }
+}

@@ -12,13 +12,19 @@
 //! exp fig10   [--scale=S] [--ef=E] [--procs=...]
 //! exp fig11   [--scale=S] [--ef=E]
 //! exp ablation [--n=N] [--procs=P]
+//! exp exchange [--n=N] [--procs=P] [--workers=W]
 //! exp all     — run everything with defaults
 //! ```
 //!
 //! Every experiment prints a paper-style table and writes raw results to
-//! `results/<name>.json`.
+//! `results/<name>.json`. `exp exchange` benchmarks the §IV-C offset
+//! exchange in isolation — pooled/overlapped pipeline vs the legacy
+//! per-element path — and writes `results/bench_exchange.json`.
 
-use pgxd_bench::runner::{fmt_secs, run_pgxd_sort, run_spark_sort, ExpResult, Workload};
+use pgxd_bench::runner::{
+    fmt_secs, run_exchange_bench, run_pgxd_sort, run_spark_sort, ExchangeBenchResult, ExpResult,
+    Workload,
+};
 use pgxd_bench::table::Table;
 use pgxd_core::{LoadStats, SortConfig};
 use pgxd_datagen::Distribution;
@@ -54,7 +60,11 @@ impl Default for Opts {
 }
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut opts = Opts::default();
+    parse_opts_from(Opts::default(), args)
+}
+
+/// [`parse_opts`] starting from subcommand-specific defaults.
+fn parse_opts_from(mut opts: Opts, args: &[String]) -> Opts {
     let mut flags: HashMap<String, String> = HashMap::new();
     for arg in args {
         if let Some(rest) = arg.strip_prefix("--") {
@@ -223,6 +233,16 @@ fn fig7(opts: &Opts) {
         "exchange share of step total: normal {:.1}%, right-skewed {:.1}%",
         100.0 * rn.step_secs[4].1 / total_n,
         100.0 * rs.step_secs[4].1 / total_s
+    );
+    println!(
+        "exchange pool: normal {:.1}% hit rate ({} chunks sent, {} recycled); \
+         right-skewed {:.1}% hit rate ({} sent, {} recycled)",
+        100.0 * rn.exchange_pool_hit_rate(),
+        rn.exchange_chunks_sent,
+        rn.exchange_chunks_recycled,
+        100.0 * rs.exchange_pool_hit_rate(),
+        rs.exchange_chunks_sent,
+        rs.exchange_chunks_recycled,
     );
     save_json("fig7", &[rn, rs]);
 }
@@ -437,6 +457,11 @@ fn fig11(opts: &Opts) {
             modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
             max_recv_bytes: report.comm.max_recv_bytes,
             bottleneck_comm_secs: report.comm.bottleneck_wire_time.as_secs_f64(),
+            exchange_chunks_sent: report.comm.exchange.chunks_sent,
+            exchange_chunks_recycled: report.comm.exchange.chunks_recycled,
+            exchange_pool_hits: report.comm.exchange.pool_hits,
+            exchange_pool_misses: report.comm.exchange.pool_misses,
+            exchange_bytes_placed: report.comm.exchange.bytes_placed,
             sizes: vec![],
             ranges: vec![],
         });
@@ -568,6 +593,81 @@ fn buffer_sweep(opts: &Opts) {
 }
 
 // ---------------------------------------------------------------------------
+// Exchange microbenchmark: the PR's perf claim. Pooled/overlapped exchange
+// pipeline vs the legacy per-element path, identical workload and offsets.
+// ---------------------------------------------------------------------------
+
+/// Default knobs for `exp exchange` (overridable via flags): the
+/// acceptance workload of 2^22 uniform keys on 4 machines x 2 workers.
+fn exchange_defaults() -> Opts {
+    Opts {
+        n: 4 << 20,
+        procs: vec![4],
+        ..Opts::default()
+    }
+}
+
+fn exchange(opts: &Opts) {
+    let p = *opts.procs.first().unwrap_or(&4);
+    let rounds = 5;
+    let buffer = pgxd::DEFAULT_BUFFER_BYTES;
+    println!(
+        "\n=== Exchange microbenchmark: chunk pool + memcpy + overlap vs legacy ===\n\
+         (n = {} keys, p = {p}, {} workers/machine, {} buffers, {rounds} timed rounds)\n",
+        opts.n,
+        opts.workers,
+        pgxd_memtrack::fmt_bytes(buffer)
+    );
+    let legacy = run_exchange_bench(opts.n, p, opts.workers, buffer, rounds, true);
+    let pooled = run_exchange_bench(opts.n, p, opts.workers, buffer, rounds, false);
+    let mut table = Table::new(vec![
+        "variant",
+        "wall",
+        "keys/s",
+        "chunks sent",
+        "recycled",
+        "pool hit rate",
+    ]);
+    for r in [&legacy, &pooled] {
+        table.row(vec![
+            r.variant.clone(),
+            fmt_secs(r.wall_secs),
+            format!("{:.2}M", r.keys_per_sec / 1e6),
+            r.chunks_sent.to_string(),
+            r.chunks_recycled.to_string(),
+            format!("{:.1}%", 100.0 * r.pool_hit_rate()),
+        ]);
+    }
+    table.print();
+    let speedup = pooled.keys_per_sec / legacy.keys_per_sec.max(1e-12);
+    println!("pooled/legacy exchange throughput: {speedup:.2}x");
+    save_exchange_json(&legacy, &pooled, speedup);
+}
+
+fn save_exchange_json(legacy: &ExchangeBenchResult, pooled: &ExchangeBenchResult, speedup: f64) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join("bench_exchange.json");
+    let doc = serde_json::json!({
+        "legacy": legacy,
+        "pooled": pooled,
+        "speedup": speedup,
+    });
+    match serde_json::to_string_pretty(&doc) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(raw results → {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Environment report (our analogue of the paper's Table I).
 // ---------------------------------------------------------------------------
 fn env_report(opts: &Opts) {
@@ -625,6 +725,8 @@ fn main() {
         "fig11" => fig11(&opts),
         "ablation" => ablation(&opts),
         "buffer" => buffer_sweep(&opts),
+        // Own defaults (2^22 keys, p=4): re-parse the flags on top of them.
+        "exchange" => exchange(&parse_opts_from(exchange_defaults(), &args[1.min(args.len())..])),
         "env" => env_report(&opts),
         "all" => {
             env_report(&opts);
@@ -639,10 +741,11 @@ fn main() {
             fig11(&opts);
             ablation(&opts);
             buffer_sweep(&opts);
+            exchange(&exchange_defaults());
         }
         _ => {
             eprintln!(
-                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|all> \
+                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|exchange|all> \
                  [--n=N] [--procs=8,16,32,52] [--workers=W] [--seed=S] [--scale=S] [--ef=E]"
             );
             std::process::exit(2);

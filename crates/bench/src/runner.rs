@@ -92,6 +92,22 @@ pub struct ExpResult {
     /// Fig. 9 communication-overhead metric (bad splitters overload one
     /// link even when aggregate volume is unchanged).
     pub bottleneck_comm_secs: f64,
+    /// Exchange data chunks handed to the fabric. Zero in results recorded
+    /// before the pooled exchange pipeline existed.
+    #[serde(default)]
+    pub exchange_chunks_sent: u64,
+    /// Spent chunk buffers returned to the pool after placement.
+    #[serde(default)]
+    pub exchange_chunks_recycled: u64,
+    /// Chunk-buffer acquisitions served from recycled memory.
+    #[serde(default)]
+    pub exchange_pool_hits: u64,
+    /// Chunk-buffer acquisitions that fell back to a fresh allocation.
+    #[serde(default)]
+    pub exchange_pool_misses: u64,
+    /// Payload bytes memcpy-placed into exchange output buffers.
+    #[serde(default)]
+    pub exchange_bytes_placed: u64,
     /// Final element count per machine (load balance).
     pub sizes: Vec<usize>,
     /// Final `(min, max)` key per machine (`None` = empty machine).
@@ -118,6 +134,17 @@ impl ExpResult {
     /// Sorted-output sanity: ranges ascend with machine id.
     pub fn ranges_ascending(&self) -> bool {
         pgxd_core::RangeStats::new(self.ranges.clone()).is_ascending()
+    }
+
+    /// Fraction of chunk-buffer acquisitions served from the pool
+    /// (0.0 when the run recorded no pool activity).
+    pub fn exchange_pool_hit_rate(&self) -> f64 {
+        let total = self.exchange_pool_hits + self.exchange_pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.exchange_pool_hits as f64 / total as f64
+        }
     }
 }
 
@@ -174,6 +201,11 @@ pub fn run_pgxd_sort_buf(
         modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
         max_recv_bytes: report.comm.max_recv_bytes,
         bottleneck_comm_secs: report.comm.bottleneck_wire_time.as_secs_f64(),
+        exchange_chunks_sent: report.comm.exchange.chunks_sent,
+        exchange_chunks_recycled: report.comm.exchange.chunks_recycled,
+        exchange_pool_hits: report.comm.exchange.pool_hits,
+        exchange_pool_misses: report.comm.exchange.pool_misses,
+        exchange_bytes_placed: report.comm.exchange.bytes_placed,
         sizes: report.results.iter().map(|r| r.0).collect(),
         ranges: report.results.iter().map(|r| r.1).collect(),
     }
@@ -208,8 +240,119 @@ pub fn run_spark_sort(workload: &Workload, machines: usize, workers: usize) -> E
         modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
         max_recv_bytes: report.comm.max_recv_bytes,
         bottleneck_comm_secs: report.comm.bottleneck_wire_time.as_secs_f64(),
+        exchange_chunks_sent: report.comm.exchange.chunks_sent,
+        exchange_chunks_recycled: report.comm.exchange.chunks_recycled,
+        exchange_pool_hits: report.comm.exchange.pool_hits,
+        exchange_pool_misses: report.comm.exchange.pool_misses,
+        exchange_bytes_placed: report.comm.exchange.bytes_placed,
         sizes: report.results.iter().map(|r| r.0).collect(),
         ranges: report.results.iter().map(|r| r.1).collect(),
+    }
+}
+
+/// One measured leg of the exchange microbenchmark (`exp exchange`):
+/// repeated all-to-all redistributions of a uniform workload through
+/// either the pooled/overlapped pipeline or the legacy per-element path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExchangeBenchResult {
+    /// "pooled" (production path) or "legacy" (pre-rework reference).
+    pub variant: String,
+    /// Machine count.
+    pub machines: usize,
+    /// Worker threads per machine.
+    pub workers: usize,
+    /// Data-manager buffer capacity, bytes.
+    pub buffer_bytes: usize,
+    /// Keys redistributed per round (cluster-wide).
+    pub total_keys: usize,
+    /// Timed rounds (after one untimed warm-up round).
+    pub rounds: usize,
+    /// Critical-path seconds across machines for all timed rounds.
+    pub wall_secs: f64,
+    /// Exchange throughput: keys moved per second across timed rounds.
+    pub keys_per_sec: f64,
+    /// Data chunks handed to the fabric (includes the warm-up round).
+    pub chunks_sent: u64,
+    /// Spent chunk buffers returned to the pool.
+    pub chunks_recycled: u64,
+    /// Chunk-buffer acquisitions served from recycled memory.
+    pub pool_hits: u64,
+    /// Chunk-buffer acquisitions that allocated fresh memory.
+    pub pool_misses: u64,
+    /// Payload bytes memcpy-placed into output buffers.
+    pub bytes_placed: u64,
+}
+
+impl ExchangeBenchResult {
+    /// Fraction of chunk-buffer acquisitions served from the pool.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Benchmarks the §IV-C offset exchange in isolation: every machine
+/// redistributes an even share of a uniform workload to all peers,
+/// `rounds` times after one warm-up round (which fills the chunk pool).
+/// `legacy = true` routes through the pre-rework per-element path.
+pub fn run_exchange_bench(
+    n_total: usize,
+    machines: usize,
+    workers: usize,
+    buffer_bytes: usize,
+    rounds: usize,
+    legacy: bool,
+) -> ExchangeBenchResult {
+    let parts = generate_partitioned(Distribution::Uniform, n_total, machines, DEFAULT_SEED);
+    let total_keys: usize = parts.iter().map(|p| p.len()).sum();
+    let cluster = Cluster::new(
+        ClusterConfig::new(machines)
+            .workers_per_machine(workers)
+            .buffer_bytes(buffer_bytes),
+    );
+    let report = cluster.run(|ctx| {
+        let data = parts[ctx.id()].clone();
+        let p = ctx.num_machines();
+        // Even destination split; the uniform workload keeps receive-side
+        // volume balanced too.
+        let per = data.len() / p;
+        let mut offsets: Vec<usize> = (0..p).map(|j| j * per).collect();
+        offsets.push(data.len());
+        let run_once = |ctx: &mut pgxd::MachineCtx| {
+            let (out, bounds) = if legacy {
+                ctx.exchange_by_offsets_legacy(&data, &offsets)
+            } else {
+                ctx.exchange_by_offsets(&data, &offsets)
+            };
+            std::hint::black_box((out.len(), bounds.len()))
+        };
+        run_once(ctx);
+        ctx.barrier();
+        for _ in 0..rounds {
+            ctx.step("exchange_round", |c| run_once(c));
+            ctx.barrier();
+        }
+    });
+    let wall = report.steps.max_across_machines("exchange_round").as_secs_f64();
+    let ex = report.comm.exchange;
+    ExchangeBenchResult {
+        variant: if legacy { "legacy" } else { "pooled" }.into(),
+        machines,
+        workers,
+        buffer_bytes,
+        total_keys,
+        rounds,
+        wall_secs: wall,
+        keys_per_sec: total_keys as f64 * rounds as f64 / wall.max(1e-12),
+        chunks_sent: ex.chunks_sent,
+        chunks_recycled: ex.chunks_recycled,
+        pool_hits: ex.pool_hits,
+        pool_misses: ex.pool_misses,
+        bytes_placed: ex.bytes_placed,
     }
 }
 
@@ -292,10 +435,43 @@ mod tests {
             modeled_comm_secs: 0.1,
             max_recv_bytes: 0,
             bottleneck_comm_secs: 0.0,
+            exchange_chunks_sent: 0,
+            exchange_chunks_recycled: 0,
+            exchange_pool_hits: 0,
+            exchange_pool_misses: 0,
+            exchange_bytes_placed: 0,
             sizes: vec![],
             ranges: vec![],
         };
         assert!(mk(8).scaled_time() > mk(16).scaled_time());
+    }
+
+    #[test]
+    fn exchange_bench_runs_both_variants() {
+        let pooled = run_exchange_bench(8_192, 3, 2, 4 * 1024, 2, false);
+        assert_eq!(pooled.variant, "pooled");
+        assert_eq!(pooled.total_keys, 8_192);
+        assert!(pooled.wall_secs > 0.0 && pooled.keys_per_sec > 0.0);
+        assert!(pooled.chunks_sent > 0);
+        assert!(pooled.pool_hits > 0, "timed rounds should hit the warm pool");
+        assert!(pooled.bytes_placed > 0);
+        let legacy = run_exchange_bench(8_192, 3, 2, 4 * 1024, 2, true);
+        assert_eq!(legacy.variant, "legacy");
+        assert_eq!(legacy.pool_hits + legacy.pool_misses, 0);
+    }
+
+    #[test]
+    fn pgxd_result_carries_exchange_counters() {
+        let workload = Workload::Dist {
+            dist: Distribution::Uniform,
+            n: 20_000,
+            seed: 4,
+        };
+        let r = run_pgxd_sort(&workload, 4, 2, SortConfig::default());
+        assert!(r.exchange_chunks_sent > 0);
+        assert!(r.exchange_bytes_placed > 0);
+        let rate = r.exchange_pool_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
     }
 
     #[test]

@@ -336,9 +336,8 @@ impl DistSorter {
             for dst in 0..p {
                 for (b, batch) in sorted.iter().enumerate() {
                     let off = &per_batch_offsets[b];
-                    for &k in &batch[off[dst]..off[dst + 1]] {
-                        combined.push((b as u32, k));
-                    }
+                    let tag = b as u32;
+                    combined.extend(batch[off[dst]..off[dst + 1]].iter().map(|&k| (tag, k)));
                 }
                 send_offsets.push(combined.len());
             }

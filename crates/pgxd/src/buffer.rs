@@ -8,6 +8,8 @@
 //! then flush as one [`OffsetChunk`] packet tagged for the exchange.
 
 use crate::comm::{CommSender, Tag};
+use crate::pool::ChunkPool;
+use std::sync::Arc;
 
 /// A chunk of exchange data addressed to a receiver-side element offset,
 /// so the receiver can write it straight into its preallocated output
@@ -23,12 +25,15 @@ pub struct OffsetChunk<T> {
 pub struct RequestBuffer<T> {
     dst: usize,
     tag: Tag,
-    /// Flush threshold in bytes (PGX.D: 256 KiB).
-    capacity_bytes: usize,
+    /// Elements per chunk under the byte capacity (at least 1), computed
+    /// once at construction.
+    cap_elems: usize,
     /// Receiver-side element offset the *next* flushed chunk starts at.
     next_offset: usize,
     buf: Vec<T>,
     flushed_chunks: usize,
+    /// Recycled backing stores for flushed chunks; `None` ⇒ allocate fresh.
+    pool: Option<Arc<ChunkPool>>,
 }
 
 impl<T: Send + Copy + 'static> RequestBuffer<T> {
@@ -38,10 +43,34 @@ impl<T: Send + Copy + 'static> RequestBuffer<T> {
         RequestBuffer {
             dst,
             tag,
-            capacity_bytes,
+            cap_elems,
             next_offset: base_offset,
             buf: Vec::with_capacity(cap_elems),
             flushed_chunks: 0,
+            pool: None,
+        }
+    }
+
+    /// Like [`new`](RequestBuffer::new), but chunk backing stores are
+    /// acquired from `pool` instead of allocated — in a steady-state
+    /// exchange the receiver releases consumed chunks back, so the same
+    /// allocations circulate for the whole run.
+    pub fn with_pool(
+        dst: usize,
+        tag: Tag,
+        capacity_bytes: usize,
+        base_offset: usize,
+        pool: Arc<ChunkPool>,
+    ) -> Self {
+        let cap_elems = Self::capacity_elems(capacity_bytes);
+        RequestBuffer {
+            dst,
+            tag,
+            cap_elems,
+            next_offset: base_offset,
+            buf: pool.acquire(cap_elems),
+            flushed_chunks: 0,
+            pool: Some(pool),
         }
     }
 
@@ -53,21 +82,22 @@ impl<T: Send + Copy + 'static> RequestBuffer<T> {
     /// Queues one element, flushing if the buffer reaches capacity.
     pub fn push(&mut self, value: T, sender: &CommSender) {
         self.buf.push(value);
-        if self.buf.len() >= Self::capacity_elems(self.capacity_bytes) {
+        if self.buf.len() >= self.cap_elems {
             self.flush(sender);
         }
     }
 
-    /// Queues a slice, flushing as capacity boundaries are crossed.
+    /// Queues a slice, flushing as capacity boundaries are crossed. The
+    /// copy into the buffer is a bulk `extend_from_slice` (memcpy for the
+    /// `Copy` element types the exchange moves), not an element loop.
     pub fn push_slice(&mut self, values: &[T], sender: &CommSender) {
-        let cap = Self::capacity_elems(self.capacity_bytes);
         let mut rest = values;
         while !rest.is_empty() {
-            let room = cap - self.buf.len();
+            let room = self.cap_elems - self.buf.len();
             let take = room.min(rest.len());
             self.buf.extend_from_slice(&rest[..take]);
             rest = &rest[take..];
-            if self.buf.len() >= cap {
+            if self.buf.len() >= self.cap_elems {
                 self.flush(sender);
             }
         }
@@ -78,17 +108,36 @@ impl<T: Send + Copy + 'static> RequestBuffer<T> {
         if self.buf.is_empty() {
             return;
         }
-        let cap = Self::capacity_elems(self.capacity_bytes);
-        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(cap));
-        let chunk = OffsetChunk {
-            offset: self.next_offset,
-            data,
+        let fresh = match &self.pool {
+            Some(pool) => pool.acquire(self.cap_elems),
+            None => Vec::with_capacity(self.cap_elems),
         };
-        self.next_offset += chunk.data.len();
-        let wire_bytes = std::mem::size_of::<T>() * chunk.data.len();
+        let data = std::mem::replace(&mut self.buf, fresh);
+        let offset = self.next_offset;
+        self.next_offset += data.len();
         self.flushed_chunks += 1;
-        // OffsetChunk is sent as a value payload; wire cost is its data.
-        sender_send_chunk(sender, self.dst, self.tag, chunk, wire_bytes);
+        sender.send_offset_chunk(self.dst, self.tag, offset, data);
+    }
+
+    /// Flushes any remainder and retires the buffer. Unlike
+    /// [`flush`](RequestBuffer::flush), no replacement backing store is
+    /// acquired — and an unused pooled backing store is returned to the
+    /// pool — so a steady-state exchange's acquires and releases balance
+    /// exactly.
+    pub fn finish(mut self, sender: &CommSender) {
+        let data = std::mem::take(&mut self.buf);
+        if data.is_empty() {
+            if let Some(pool) = &self.pool {
+                if data.capacity() > 0 {
+                    pool.release(data);
+                }
+            }
+            return;
+        }
+        let offset = self.next_offset;
+        self.next_offset += data.len();
+        self.flushed_chunks += 1;
+        sender.send_offset_chunk(self.dst, self.tag, offset, data);
     }
 
     /// Number of chunks flushed so far.
@@ -105,18 +154,6 @@ impl<T: Send + Copy + 'static> RequestBuffer<T> {
     pub fn dst(&self) -> usize {
         self.dst
     }
-}
-
-fn sender_send_chunk<T: Send + 'static>(
-    sender: &CommSender,
-    dst: usize,
-    tag: Tag,
-    chunk: OffsetChunk<T>,
-    wire_bytes: usize,
-) {
-    // The payload travels as an `(offset, Vec<T>)` pair; the wire cost is
-    // the element data plus the 8-byte offset header.
-    sender.send_value_with_bytes(dst, tag, (chunk.offset, chunk.data), wire_bytes + 8);
 }
 
 #[cfg(test)]
@@ -175,6 +212,34 @@ mod tests {
             got[off..off + data.len()].copy_from_slice(&data);
         }
         assert_eq!(got, values);
+    }
+
+    #[test]
+    fn pooled_buffer_recycles_chunk_backing_stores() {
+        let stats = Arc::new(CommStats::new(2, Default::default()));
+        let mut f = CommManager::fabric(2, stats.clone());
+        let mut m1 = f.pop().unwrap();
+        let m0 = f.pop().unwrap();
+        let tag = Tag::user(0, 9);
+        let pool = Arc::new(ChunkPool::new(stats.clone()));
+        // 32 bytes = 4 u64 elements per chunk.
+        let mut buf: RequestBuffer<u64> = RequestBuffer::with_pool(1, tag, 32, 0, pool.clone());
+        let sender = m0.sender();
+        for round in 0..3u64 {
+            for v in 0..4u64 {
+                buf.push(round * 4 + v, &sender);
+            }
+            // Receiver consumes the chunk and returns its backing store.
+            let (_, (off, data)) = m1.recv_value::<(usize, Vec<u64>)>(tag);
+            assert_eq!(off as u64, round * 4);
+            pool.release(data);
+        }
+        let ex = stats.summary().exchange;
+        assert_eq!(ex.chunks_sent, 3);
+        assert_eq!(ex.chunks_recycled, 3);
+        // First two acquisitions (initial buf + first flush replacement)
+        // miss; once chunks start coming back, flushes hit the pool.
+        assert!(ex.pool_hits >= 1, "expected recycled buffers to be reused");
     }
 
     #[test]

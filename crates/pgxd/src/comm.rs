@@ -118,6 +118,38 @@ impl CommSender {
         self.send_packet(dst, tag, wire_bytes, Box::new(value));
     }
 
+    /// Sends one §IV-C exchange chunk: elements destined for absolute
+    /// offset `offset` in `dst`'s output buffer. Wire bytes = payload plus
+    /// the offset header; the chunk is counted in
+    /// [`ExchangeStats`](crate::metrics::ExchangeStats).
+    pub fn send_offset_chunk<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        offset: usize,
+        data: Vec<T>,
+    ) {
+        let wire_bytes = std::mem::size_of::<T>() * data.len() + std::mem::size_of::<usize>();
+        self.stats.exchange.record_chunk_sent();
+        self.send_packet(dst, tag, wire_bytes, Box::new((offset, data)));
+    }
+
+    /// Sends a shared (refcounted) `Vec<T>` to `dst`. The collectives use
+    /// this to ship one payload to `p − 1` receivers without cloning the
+    /// data per receiver; each send is still charged full wire bytes, so
+    /// the network accounting is identical to an owned [`send_vec`].
+    ///
+    /// [`send_vec`]: CommSender::send_vec
+    pub fn send_shared_vec<T: Send + Sync + 'static>(
+        &self,
+        dst: usize,
+        tag: Tag,
+        data: std::sync::Arc<Vec<T>>,
+    ) {
+        let wire_bytes = std::mem::size_of::<T>() * data.len();
+        self.send_packet(dst, tag, wire_bytes, Box::new(data));
+    }
+
     fn send_packet(&self, dst: usize, tag: Tag, wire_bytes: usize, payload: Box<dyn Any + Send>) {
         if dst != self.id {
             self.stats.record_packet(wire_bytes, dst);
@@ -237,6 +269,19 @@ impl CommManager {
         let pkt = self.recv_packet(tag);
         (pkt.src, downcast_value(pkt.payload, pkt.tag))
     }
+
+    /// Receives a shared `Vec<T>` (sent with
+    /// [`CommSender::send_shared_vec`]) and resolves it to an owned vector:
+    /// the last receiver to drop its handle takes the allocation for free,
+    /// everyone else clones locally — at most one clone per receiver
+    /// instead of `p − 1` clones on the sender.
+    pub fn recv_shared_vec<T: Clone + Send + Sync + 'static>(&mut self, tag: Tag) -> (usize, Vec<T>) {
+        let pkt = self.recv_packet(tag);
+        let src = pkt.src;
+        let shared: std::sync::Arc<Vec<T>> = downcast_value(pkt.payload, pkt.tag);
+        let data = std::sync::Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone());
+        (src, data)
+    }
 }
 
 /// Unwraps a payload known to be `Vec<T>`.
@@ -353,6 +398,38 @@ mod tests {
         let (src, v) = m0.recv_value::<(usize, u64)>(tag);
         assert_eq!(src, 1);
         assert_eq!(v, (42, 99));
+    }
+
+    #[test]
+    fn offset_chunk_roundtrip_counts_and_charges() {
+        let stats = Arc::new(CommStats::new(2, Default::default()));
+        let mut f = CommManager::fabric(2, stats.clone());
+        let m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let tag = Tag::user(5, 0);
+        m1.sender().send_offset_chunk(0, tag, 17, vec![1u64, 2, 3]);
+        let (src, (offset, data)) = m0.recv_value::<(usize, Vec<u64>)>(tag);
+        assert_eq!((src, offset), (1, 17));
+        assert_eq!(data, vec![1, 2, 3]);
+        let s = stats.summary();
+        assert_eq!(s.bytes_sent, 3 * 8 + 8);
+        assert_eq!(s.exchange.chunks_sent, 1);
+    }
+
+    #[test]
+    fn shared_vec_roundtrip_charged_full_bytes() {
+        let stats = Arc::new(CommStats::new(2, Default::default()));
+        let mut f = CommManager::fabric(2, stats.clone());
+        let m1 = f.pop().unwrap();
+        let mut m0 = f.pop().unwrap();
+        let tag = Tag::user(6, 0);
+        let payload = Arc::new(vec![7u32; 50]);
+        m1.sender().send_shared_vec(0, tag, payload.clone());
+        let (src, data) = m0.recv_shared_vec::<u32>(tag);
+        assert_eq!(src, 1);
+        assert_eq!(data, *payload);
+        // Accounting matches an owned send of the same vector.
+        assert_eq!(stats.summary().bytes_sent, 50 * 4);
     }
 
     #[test]

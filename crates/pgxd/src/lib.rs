@@ -49,11 +49,13 @@ pub mod machine;
 pub mod metrics;
 pub mod net;
 pub mod partition;
+pub mod pool;
 pub mod task;
 
 pub use cluster::{Cluster, ClusterConfig, RunReport};
 pub use machine::MachineCtx;
-pub use metrics::{CommSummary, StepReport};
+pub use metrics::{CommSummary, ExchangeSummary, StepReport};
+pub use pool::ChunkPool;
 pub use net::NetworkModel;
 
 /// The read/request buffer size PGX.D uses (§IV-B): 256 KiB.

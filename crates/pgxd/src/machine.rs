@@ -9,6 +9,7 @@
 use crate::buffer::RequestBuffer;
 use crate::comm::{kinds, CommManager, Tag};
 use crate::metrics::{CommSummary, SharedCommStats, StepTimer};
+use crate::pool::ChunkPool;
 use crate::task::TaskManager;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::{Arc, Barrier};
@@ -26,6 +27,9 @@ pub struct MachineCtx {
     barrier: Arc<Barrier>,
     buffer_bytes: usize,
     stats: SharedCommStats,
+    /// Recycled chunk backing stores for the exchange pipeline, shared
+    /// between this machine's receive thread and its send workers.
+    pool: Arc<ChunkPool>,
     collective_seq: u64,
 }
 
@@ -45,6 +49,7 @@ impl MachineCtx {
             timer: StepTimer::new(),
             barrier,
             buffer_bytes,
+            pool: Arc::new(ChunkPool::new(stats.clone())),
             stats,
             collective_seq: 0,
         }
@@ -78,6 +83,11 @@ impl MachineCtx {
     /// The data manager's read/request buffer size in bytes (§IV-B).
     pub fn buffer_bytes(&self) -> usize {
         self.buffer_bytes
+    }
+
+    /// This machine's chunk pool (recycled exchange buffers).
+    pub fn pool(&self) -> &Arc<ChunkPool> {
+        &self.pool
     }
 
     /// Mutable access to the raw communication manager, for protocols the
@@ -150,7 +160,11 @@ impl MachineCtx {
     /// Broadcasts a `Vec<T>` from the master to everyone. The master
     /// passes `Some(data)`, everyone else `None`; all machines return the
     /// broadcast value.
-    pub fn broadcast_from_master<T: Send + Clone + 'static>(
+    ///
+    /// The payload ships as one shared `Arc<Vec<T>>` — the master does not
+    /// clone it per receiver; wire-byte accounting still charges every
+    /// receiver the full payload.
+    pub fn broadcast_from_master<T: Send + Sync + Clone + 'static>(
         &mut self,
         data: Option<Vec<T>>,
     ) -> Vec<T> {
@@ -158,26 +172,14 @@ impl MachineCtx {
             kind: kinds::BROADCAST,
             seq: self.next_seq(),
         };
-        if self.id == MASTER {
-            let data = data.expect("master must supply broadcast data");
-            for dst in 0..self.p {
-                if dst != MASTER {
-                    self.comm.send_vec(dst, tag, data.clone());
-                }
-            }
-            data
-        } else {
-            let (src, v) = self.comm.recv_vec::<T>(tag);
-            debug_assert_eq!(src, MASTER);
-            v
-        }
+        self.broadcast_shared(MASTER, data, tag)
     }
 
     /// Broadcasts a `Vec<T>` from an arbitrary `root` to everyone. The
     /// root passes `Some(data)`, everyone else `None`; all machines
-    /// return the broadcast value. (The master-rooted variant keeps its
-    /// own tag namespace for §IV step-3 clarity.)
-    pub fn broadcast_from<T: Send + Clone + 'static>(
+    /// return the broadcast value. Ships one shared payload like
+    /// [`broadcast_from_master`](MachineCtx::broadcast_from_master).
+    pub fn broadcast_from<T: Send + Sync + Clone + 'static>(
         &mut self,
         root: usize,
         data: Option<Vec<T>>,
@@ -187,16 +189,30 @@ impl MachineCtx {
             kind: kinds::BROADCAST,
             seq: self.next_seq(),
         };
+        self.broadcast_shared(root, data, tag)
+    }
+
+    fn broadcast_shared<T: Send + Sync + Clone + 'static>(
+        &mut self,
+        root: usize,
+        data: Option<Vec<T>>,
+        tag: Tag,
+    ) -> Vec<T> {
         if self.id == root {
-            let data = data.expect("root must supply broadcast data");
+            let data = data.expect("broadcast root must supply data");
+            let shared = Arc::new(data);
+            let sender = self.comm.sender();
             for dst in 0..self.p {
                 if dst != root {
-                    self.comm.send_vec(dst, tag, data.clone());
+                    sender.send_shared_vec(dst, tag, shared.clone());
                 }
             }
-            data
+            // Usually receivers still hold their handles, costing the root
+            // one local clone — instead of the p − 1 clones an owned
+            // broadcast pays.
+            Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone())
         } else {
-            let (src, v) = self.comm.recv_vec::<T>(tag);
+            let (src, v) = self.comm.recv_shared_vec::<T>(tag);
             debug_assert_eq!(src, root);
             v
         }
@@ -231,28 +247,14 @@ impl MachineCtx {
     }
 
     /// All-gather: everyone contributes a `Vec<T>` and receives all `p`
-    /// contributions, indexed by source.
-    pub fn all_gather<T: Send + Clone + 'static>(&mut self, data: Vec<T>) -> Vec<Vec<T>> {
+    /// contributions, indexed by source. Each contribution ships as one
+    /// shared payload (no per-receiver clone on the contributor).
+    pub fn all_gather<T: Send + Sync + Clone + 'static>(&mut self, data: Vec<T>) -> Vec<Vec<T>> {
         let tag = Tag {
             kind: kinds::ALL_GATHER,
             seq: self.next_seq(),
         };
-        for dst in 0..self.p {
-            if dst != self.id {
-                self.comm.send_vec(dst, tag, data.clone());
-            }
-        }
-        let mut received: Vec<Option<Vec<T>>> = (0..self.p).map(|_| None).collect();
-        received[self.id] = Some(data);
-        for _ in 1..self.p {
-            let (src, v) = self.comm.recv_vec::<T>(tag);
-            debug_assert!(received[src].is_none());
-            received[src] = Some(v);
-        }
-        received
-            .into_iter()
-            .map(|v| v.expect("missing all_gather part"))
-            .collect()
+        self.all_gather_with_tag(data, tag)
     }
 
     /// The §IV-C asynchronous exchange. `data` is this machine's local
@@ -272,7 +274,7 @@ impl MachineCtx {
     ///    `assembled[source_bounds[s]..source_bounds[s+1]]` is the run
     ///    received from machine `s` (runs stay contiguous so the final
     ///    merge can consume them and provenance stays recoverable).
-    pub fn exchange_by_offsets<T: Copy + Send + 'static>(
+    pub fn exchange_by_offsets<T: Copy + Send + Sync + 'static>(
         &mut self,
         data: &[T],
         send_offsets: &[usize],
@@ -285,24 +287,9 @@ impl MachineCtx {
             kind: kinds::EXCHANGE_COUNTS,
             seq: self.next_seq(),
         };
-        let my_counts: Vec<u64> = (0..self.p)
-            .map(|j| (send_offsets[j + 1] - send_offsets[j]) as u64)
-            .collect();
-        let matrix = self.all_gather_with_tag(my_counts, counts_tag);
-
-        // Receiver layout: arrivals from lower-numbered sources first.
-        let mut source_bounds = Vec::with_capacity(self.p + 1);
-        source_bounds.push(0usize);
-        for src in 0..self.p {
-            let c = matrix[src][self.id] as usize;
-            source_bounds.push(source_bounds[src] + c);
-        }
+        let (matrix, source_bounds, my_base_at) =
+            self.exchange_count_phase(send_offsets, counts_tag);
         let total = source_bounds[self.p];
-
-        // Sender-side base offset at each destination.
-        let my_base_at: Vec<usize> = (0..self.p)
-            .map(|dst| (0..self.id).map(|s| matrix[s][dst] as usize).sum())
-            .collect();
 
         // --- 2. overlapped send/receive --------------------------------------
         let data_tag = Tag {
@@ -313,6 +300,131 @@ impl MachineCtx {
         // SAFETY: MaybeUninit slots carry no validity invariant; every slot
         // is written exactly once below (self-copy + per-source chunks tile
         // [0, total) by construction of the count matrix), asserted by the
+        // placement accounting before the final transmute.
+        unsafe { out.set_len(total) };
+
+        // Self part: one memcpy straight into place, no fabric involved.
+        let self_len = {
+            let self_slice = &data[send_offsets[self.id]..send_offsets[self.id + 1]];
+            let base = source_bounds[self.id];
+            // SAFETY: `base + len <= total` by construction of
+            // `source_bounds`; `MaybeUninit<T>` is layout-identical to `T`,
+            // and `data` cannot alias the freshly allocated `out`.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self_slice.as_ptr(),
+                    out.as_mut_ptr().add(base).cast::<T>(),
+                    self_slice.len(),
+                );
+            }
+            self.stats
+                .exchange
+                .record_bytes_placed(std::mem::size_of_val(self_slice));
+            self_slice.len()
+        };
+
+        let expected_remote = total - (matrix[self.id][self.id] as usize);
+        let sender = self.comm.sender();
+        let task = self.task;
+        let buffer_bytes = self.buffer_bytes;
+        let (id, p) = (self.id, self.p);
+
+        // One send task per destination (staggered so machine 0 is not
+        // everyone's first target). The workers run these while the
+        // receive loop below drains arrivals — true send-while-receive.
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+            Vec::with_capacity(p.saturating_sub(1));
+        for step in 1..p {
+            let dst = (id + step) % p;
+            let slice = &data[send_offsets[dst]..send_offsets[dst + 1]];
+            if slice.is_empty() {
+                continue;
+            }
+            let sender = sender.clone();
+            let pool = self.pool.clone();
+            let base = my_base_at[dst];
+            tasks.push(Box::new(move || {
+                let mut buf: RequestBuffer<T> =
+                    RequestBuffer::with_pool(dst, data_tag, buffer_bytes, base, pool);
+                buf.push_slice(slice, &sender);
+                buf.finish(&sender);
+            }));
+        }
+
+        // The receive loop: place each arriving chunk with one memcpy and
+        // hand its backing store to the pool, where this machine's send
+        // tasks (and the next exchange) pick it back up.
+        let comm = &mut self.comm;
+        let pool = &self.pool;
+        let stats = &self.stats;
+        let out_ptr = out.as_mut_ptr();
+        let placed = task.run_tasks_overlapping(tasks, move || {
+            let mut remote_received = 0usize;
+            while remote_received < expected_remote {
+                let pkt = comm.recv_packet(data_tag);
+                let (offset, chunk) = pkt.into_value::<(usize, Vec<T>)>();
+                // SAFETY: the sender addressed this chunk inside the run
+                // reserved for it by the count matrix, so
+                // `offset + len <= total`; only this thread writes `out`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        chunk.as_ptr(),
+                        out_ptr.add(offset).cast::<T>(),
+                        chunk.len(),
+                    );
+                }
+                remote_received += chunk.len();
+                stats
+                    .exchange
+                    .record_bytes_placed(chunk.len() * std::mem::size_of::<T>());
+                pool.release(chunk);
+            }
+            remote_received
+        });
+        assert_eq!(
+            self_len + placed,
+            total,
+            "exchange did not fill the output buffer"
+        );
+
+        // SAFETY: all `total` slots initialized (asserted above);
+        // Vec<MaybeUninit<T>> and Vec<T> share layout for the same T.
+        let out = {
+            let mut md = ManuallyDrop::new(out);
+            let (ptr, len, cap) = (md.as_mut_ptr(), md.len(), md.capacity());
+            unsafe { Vec::from_raw_parts(ptr as *mut T, len, cap) }
+        };
+        (out, source_bounds)
+    }
+
+    /// The pre-rework exchange: sequential per-destination sends from the
+    /// receive thread, a freshly allocated `Vec` per chunk, and
+    /// element-wise placement loops. Kept verbatim as the *before* case
+    /// for the `exp exchange` microbenchmark and the regression tests;
+    /// production callers use
+    /// [`exchange_by_offsets`](MachineCtx::exchange_by_offsets).
+    pub fn exchange_by_offsets_legacy<T: Copy + Send + Sync + 'static>(
+        &mut self,
+        data: &[T],
+        send_offsets: &[usize],
+    ) -> (Vec<T>, Vec<usize>) {
+        assert_eq!(send_offsets.len(), self.p + 1, "need p+1 send offsets");
+        assert_eq!(*send_offsets.last().unwrap(), data.len());
+
+        let counts_tag = Tag {
+            kind: kinds::EXCHANGE_COUNTS,
+            seq: self.next_seq(),
+        };
+        let (matrix, source_bounds, my_base_at) =
+            self.exchange_count_phase(send_offsets, counts_tag);
+        let total = source_bounds[self.p];
+
+        let data_tag = Tag {
+            kind: kinds::EXCHANGE_DATA,
+            seq: self.next_seq(),
+        };
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(total);
+        // SAFETY: every slot is written exactly once below; asserted by the
         // `written` accounting before the final transmute.
         unsafe { out.set_len(total) };
         let mut written = 0usize;
@@ -332,7 +444,7 @@ impl MachineCtx {
         let mut remote_received = 0usize;
 
         // Send to each destination in staggered order, draining arrivals
-        // between flushes (send-while-receive).
+        // between flushes.
         for step in 1..self.p {
             let dst = (self.id + step) % self.p;
             let slice = &data[send_offsets[dst]..send_offsets[dst + 1]];
@@ -342,7 +454,6 @@ impl MachineCtx {
                 buf.push_slice(slice, &sender);
                 buf.flush(&sender);
             }
-            // Drain anything that has already arrived.
             while let Some(pkt) = self.comm.try_recv_packet(data_tag) {
                 let (offset, chunk) = pkt.into_value::<(usize, Vec<T>)>();
                 for (i, &v) in chunk.iter().enumerate() {
@@ -375,22 +486,54 @@ impl MachineCtx {
         (out, source_bounds)
     }
 
+    /// Shared count phase of both exchange variants: all-gathers the
+    /// per-destination counts and derives (count matrix, receiver-side
+    /// source bounds, this sender's base offset at each destination).
+    fn exchange_count_phase(
+        &mut self,
+        send_offsets: &[usize],
+        counts_tag: Tag,
+    ) -> (Vec<Vec<u64>>, Vec<usize>, Vec<usize>) {
+        let my_counts: Vec<u64> = (0..self.p)
+            .map(|j| (send_offsets[j + 1] - send_offsets[j]) as u64)
+            .collect();
+        let matrix = self.all_gather_with_tag(my_counts, counts_tag);
+
+        // Receiver layout: arrivals from lower-numbered sources first.
+        let mut source_bounds = Vec::with_capacity(self.p + 1);
+        source_bounds.push(0usize);
+        for src in 0..self.p {
+            let c = matrix[src][self.id] as usize;
+            source_bounds.push(source_bounds[src] + c);
+        }
+
+        // Sender-side base offset at each destination.
+        let my_base_at: Vec<usize> = (0..self.p)
+            .map(|dst| (0..self.id).map(|s| matrix[s][dst] as usize).sum())
+            .collect();
+        (matrix, source_bounds, my_base_at)
+    }
+
     /// All-gather with a caller-provided tag (used by the exchange's count
-    /// phase so counts and data cannot be confused).
-    fn all_gather_with_tag<T: Send + Clone + 'static>(
+    /// phase so counts and data cannot be confused). One shared payload
+    /// per contributor; per-receiver wire accounting is unchanged.
+    fn all_gather_with_tag<T: Send + Sync + Clone + 'static>(
         &mut self,
         data: Vec<T>,
         tag: Tag,
     ) -> Vec<Vec<T>> {
+        let shared = Arc::new(data);
+        let sender = self.comm.sender();
         for dst in 0..self.p {
             if dst != self.id {
-                self.comm.send_vec(dst, tag, data.clone());
+                sender.send_shared_vec(dst, tag, shared.clone());
             }
         }
         let mut received: Vec<Option<Vec<T>>> = (0..self.p).map(|_| None).collect();
-        received[self.id] = Some(data);
+        let mine = Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone());
+        received[self.id] = Some(mine);
         for _ in 1..self.p {
-            let (src, v) = self.comm.recv_vec::<T>(tag);
+            let (src, v) = self.comm.recv_shared_vec::<T>(tag);
             debug_assert!(received[src].is_none());
             received[src] = Some(v);
         }

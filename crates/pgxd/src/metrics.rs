@@ -21,11 +21,109 @@ pub struct CommStats {
     pub messages_sent: AtomicU64,
     /// Modeled wire nanoseconds accumulated from the network model.
     pub modeled_wire_nanos: AtomicU64,
+    /// §IV-C exchange-pipeline counters (chunk pool + placement).
+    pub exchange: ExchangeStats,
     /// Bytes addressed to each machine — the per-receiver view that
     /// exposes hotspots (a bad splitter overloads one receiver's link
     /// even when the aggregate volume is unchanged).
     per_dst_bytes: Vec<AtomicU64>,
     net: NetworkModel,
+}
+
+/// Counters for the offset-addressed exchange hot path: how many chunks
+/// moved, how often the [`ChunkPool`](crate::pool::ChunkPool) satisfied a
+/// buffer request from recycled memory, and how many payload bytes were
+/// memcpy-placed into output buffers. Fig. 7's harness prints these next
+/// to the step breakdown so the "exchange is cheap" claim is auditable.
+#[derive(Debug, Default)]
+pub struct ExchangeStats {
+    /// Data chunks handed to the fabric by `RequestBuffer` flushes.
+    pub chunks_sent: AtomicU64,
+    /// Spent chunk buffers returned to the pool after placement.
+    pub chunks_recycled: AtomicU64,
+    /// Buffer acquisitions served from the pool.
+    pub pool_hits: AtomicU64,
+    /// Buffer acquisitions that fell back to a fresh allocation.
+    pub pool_misses: AtomicU64,
+    /// Payload bytes copied into exchange output buffers.
+    pub bytes_placed: AtomicU64,
+}
+
+impl ExchangeStats {
+    /// Records a pool acquisition served from recycled memory.
+    pub fn record_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a pool acquisition that had to allocate.
+    pub fn record_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a spent buffer returned to the pool.
+    pub fn record_recycled(&self) {
+        self.chunks_recycled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one data chunk handed to the fabric.
+    pub fn record_chunk_sent(&self) {
+        self.chunks_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` memcpy-placed into an exchange output buffer.
+    pub fn record_bytes_placed(&self, bytes: usize) {
+        self.bytes_placed.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn summary(&self) -> ExchangeSummary {
+        ExchangeSummary {
+            chunks_sent: self.chunks_sent.load(Ordering::Relaxed),
+            chunks_recycled: self.chunks_recycled.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            bytes_placed: self.bytes_placed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of [`ExchangeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeSummary {
+    /// Data chunks handed to the fabric.
+    pub chunks_sent: u64,
+    /// Spent chunk buffers returned to the pool.
+    pub chunks_recycled: u64,
+    /// Pool acquisitions served from recycled memory.
+    pub pool_hits: u64,
+    /// Pool acquisitions that allocated fresh memory.
+    pub pool_misses: u64,
+    /// Payload bytes memcpy-placed into output buffers.
+    pub bytes_placed: u64,
+}
+
+impl ExchangeSummary {
+    /// Fraction of buffer acquisitions served by the pool, in `[0, 1]`.
+    /// Zero when no acquisition has happened yet.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Difference between two snapshots (later minus earlier).
+    pub fn delta_since(&self, earlier: &ExchangeSummary) -> ExchangeSummary {
+        ExchangeSummary {
+            chunks_sent: self.chunks_sent - earlier.chunks_sent,
+            chunks_recycled: self.chunks_recycled - earlier.chunks_recycled,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            bytes_placed: self.bytes_placed - earlier.bytes_placed,
+        }
+    }
 }
 
 impl Default for CommStats {
@@ -42,6 +140,7 @@ impl CommStats {
             bytes_sent: AtomicU64::new(0),
             messages_sent: AtomicU64::new(0),
             modeled_wire_nanos: AtomicU64::new(0),
+            exchange: ExchangeStats::default(),
             per_dst_bytes: (0..p).map(|_| AtomicU64::new(0)).collect(),
             net,
         }
@@ -76,6 +175,7 @@ impl CommStats {
             bottleneck_wire_time: Duration::from_secs_f64(
                 max_recv as f64 / self.net.bandwidth_bytes_per_sec,
             ),
+            exchange: self.exchange.summary(),
         }
     }
 }
@@ -94,6 +194,8 @@ pub struct CommSummary {
     /// Wire time of the most-loaded receiver's inbound link — the
     /// hotspot view of communication overhead (Fig. 9).
     pub bottleneck_wire_time: Duration,
+    /// Exchange-pipeline counters (chunk pool + placement).
+    pub exchange: ExchangeSummary,
 }
 
 impl CommSummary {
@@ -108,6 +210,7 @@ impl CommSummary {
             modeled_wire_time: self.modeled_wire_time - earlier.modeled_wire_time,
             max_recv_bytes: self.max_recv_bytes,
             bottleneck_wire_time: self.bottleneck_wire_time,
+            exchange: self.exchange.delta_since(&earlier.exchange),
         }
     }
 }
@@ -268,6 +371,32 @@ mod tests {
         stats.record_packet(50, 99);
         assert_eq!(stats.summary().bytes_sent, s.bytes_sent + 50);
         assert_eq!(stats.summary().max_recv_bytes, 5100);
+    }
+
+    #[test]
+    fn exchange_stats_accumulate_and_delta() {
+        let stats = CommStats::default();
+        stats.exchange.record_chunk_sent();
+        stats.exchange.record_pool_miss();
+        stats.exchange.record_bytes_placed(4096);
+        let before = stats.summary().exchange;
+        assert_eq!(before.chunks_sent, 1);
+        assert_eq!(before.pool_misses, 1);
+        assert_eq!(before.bytes_placed, 4096);
+        assert_eq!(before.pool_hit_rate(), 0.0);
+        stats.exchange.record_pool_hit();
+        stats.exchange.record_pool_hit();
+        stats.exchange.record_pool_miss();
+        stats.exchange.record_recycled();
+        let now = stats.summary().exchange;
+        assert!((now.pool_hit_rate() - 0.5).abs() < 1e-12);
+        let delta = now.delta_since(&before);
+        assert_eq!(delta.chunks_sent, 0);
+        assert_eq!(delta.pool_hits, 2);
+        assert_eq!(delta.pool_misses, 1);
+        assert_eq!(delta.chunks_recycled, 1);
+        // Empty summary reports a 0 hit rate, not NaN.
+        assert_eq!(ExchangeSummary::default().pool_hit_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Recycled chunk buffers for the §IV-C exchange pipeline.
+//!
+//! PGX.D's data manager does not allocate a fresh buffer for every
+//! outgoing request packet: buffers are drawn from a pool and returned
+//! once the receiver has consumed them, so a steady-state exchange costs
+//! no allocation per chunk. [`ChunkPool`] reproduces that mechanism for
+//! the simulator: the send side ([`RequestBuffer`](crate::buffer::RequestBuffer))
+//! acquires chunk backing stores here, and the receive side of
+//! [`exchange_by_offsets`](crate::machine::MachineCtx::exchange_by_offsets)
+//! releases every arriving chunk back after placing its elements, so the
+//! same allocations circulate for the whole exchange (and across
+//! exchanges, since the pool lives on the machine context).
+//!
+//! The pool is sharded: a handful of mutex-protected free lists, with
+//! release/acquire spreading across shards via an atomic cursor, so the
+//! receive thread and the task-manager send workers do not serialize on
+//! one lock. Buffers are stored type-erased as raw allocations keyed by
+//! `(TypeId, byte capacity)` — keying by `TypeId` guarantees a buffer is
+//! only ever rebuilt into a `Vec` of the exact element type it was
+//! allocated for, which keeps `Vec::from_raw_parts` sound (same layout,
+//! same alignment, same element-capacity arithmetic).
+
+use crate::metrics::SharedCommStats;
+use parking_lot::Mutex;
+use std::any::TypeId;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of independent free-list shards.
+const SHARDS: usize = 8;
+
+/// Per-shard retention bound: beyond this many bytes parked in one shard,
+/// released buffers are dropped instead of pooled (keeps a pathological
+/// burst of in-flight chunks from pinning memory forever).
+const MAX_SHARD_BYTES: usize = 16 << 20;
+
+/// A type-erased, empty `Vec<T>` allocation: pointer + byte capacity plus
+/// the dropper that can rebuild and free it.
+struct RawChunk {
+    ptr: *mut u8,
+    cap_bytes: usize,
+    /// Rebuilds the original `Vec<T>` (len 0) and drops it.
+    drop_fn: unsafe fn(*mut u8, usize),
+}
+
+// SAFETY: a RawChunk is the guts of an empty Vec<T> where T: Send (enforced
+// by `release`'s bound); an empty buffer carries no T values, so moving the
+// allocation between threads is safe.
+unsafe impl Send for RawChunk {}
+
+unsafe fn drop_chunk<T>(ptr: *mut u8, cap_bytes: usize) {
+    // SAFETY: caller guarantees (ptr, cap_bytes) came from an empty Vec<T>
+    // with capacity cap_bytes / size_of::<T>().
+    unsafe {
+        drop(Vec::from_raw_parts(
+            ptr.cast::<T>(),
+            0,
+            cap_bytes / std::mem::size_of::<T>(),
+        ));
+    }
+}
+
+/// One shard: free lists per element type, ordered by byte capacity so an
+/// acquire can grab the smallest buffer that is big enough.
+#[derive(Default)]
+struct Shard {
+    lists: HashMap<TypeId, BTreeMap<usize, Vec<RawChunk>>>,
+    held_bytes: usize,
+}
+
+/// Sharded free-list of recycled chunk buffers, keyed by byte capacity.
+///
+/// One pool per simulated machine (created by the cluster runtime and
+/// shared between the machine's receive thread and its send workers via
+/// `Arc`). Hit/miss/recycle counters feed the cluster-wide
+/// [`ExchangeStats`](crate::metrics::ExchangeStats).
+pub struct ChunkPool {
+    shards: Vec<Mutex<Shard>>,
+    cursor: AtomicUsize,
+    stats: SharedCommStats,
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        for by_cap in self.lists.values_mut() {
+            for chunks in by_cap.values_mut() {
+                for c in chunks.drain(..) {
+                    // SAFETY: (ptr, cap_bytes, drop_fn) were captured
+                    // together from a live Vec in `release`.
+                    unsafe { (c.drop_fn)(c.ptr, c.cap_bytes) };
+                }
+            }
+        }
+    }
+}
+
+impl ChunkPool {
+    /// A pool reporting its counters into `stats`.
+    pub fn new(stats: SharedCommStats) -> Self {
+        ChunkPool {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            cursor: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    /// An empty `Vec<T>` with capacity for at least `cap_elems` elements:
+    /// recycled if a big-enough buffer of this type is pooled (a *hit*),
+    /// freshly allocated otherwise (a *miss*).
+    pub fn acquire<T: Send + 'static>(&self, cap_elems: usize) -> Vec<T> {
+        let size = std::mem::size_of::<T>();
+        if size == 0 {
+            return Vec::with_capacity(cap_elems);
+        }
+        let want_bytes = cap_elems * size;
+        let key = TypeId::of::<T>();
+        let start = self.cursor.load(Ordering::Relaxed);
+        for i in 0..SHARDS {
+            let mut shard = self.shards[(start + i) % SHARDS].lock();
+            let Some(by_cap) = shard.lists.get_mut(&key) else {
+                continue;
+            };
+            let Some((&cap_bytes, _)) = by_cap.range(want_bytes..).next() else {
+                continue;
+            };
+            let chunks = by_cap.get_mut(&cap_bytes).expect("range key present");
+            let chunk = chunks.pop().expect("empty capacity bucket not pruned");
+            if chunks.is_empty() {
+                by_cap.remove(&cap_bytes);
+            }
+            shard.held_bytes -= cap_bytes;
+            drop(shard);
+            self.stats.exchange.record_pool_hit();
+            // SAFETY: TypeId match guarantees the allocation was made as a
+            // Vec<T>, so layout/alignment agree and cap_bytes is an exact
+            // multiple of size_of::<T>().
+            return unsafe { Vec::from_raw_parts(chunk.ptr.cast::<T>(), 0, cap_bytes / size) };
+        }
+        self.stats.exchange.record_pool_miss();
+        Vec::with_capacity(cap_elems)
+    }
+
+    /// Returns a spent chunk buffer to the pool. The contents are cleared;
+    /// only the allocation is kept. Buffers of zero capacity (or arriving
+    /// while the shard is at its retention bound) are simply dropped.
+    pub fn release<T: Send + 'static>(&self, mut buf: Vec<T>) {
+        let size = std::mem::size_of::<T>();
+        buf.clear();
+        let cap_bytes = buf.capacity() * size;
+        if cap_bytes == 0 {
+            return;
+        }
+        let shard_idx = self.cursor.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        let mut shard = self.shards[shard_idx].lock();
+        if shard.held_bytes + cap_bytes > MAX_SHARD_BYTES {
+            return; // lock drops, buf drops: allocation is freed
+        }
+        let mut buf = std::mem::ManuallyDrop::new(buf);
+        let chunk = RawChunk {
+            ptr: buf.as_mut_ptr().cast::<u8>(),
+            cap_bytes,
+            drop_fn: drop_chunk::<T>,
+        };
+        shard.held_bytes += cap_bytes;
+        shard
+            .lists
+            .entry(TypeId::of::<T>())
+            .or_default()
+            .entry(cap_bytes)
+            .or_default()
+            .push(chunk);
+        drop(shard);
+        self.stats.exchange.record_recycled();
+    }
+
+    /// Total bytes currently parked across all shards (diagnostics).
+    pub fn held_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().held_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CommStats;
+    use std::sync::Arc;
+
+    fn pool() -> (ChunkPool, SharedCommStats) {
+        let stats: SharedCommStats = Arc::new(CommStats::default());
+        (ChunkPool::new(stats.clone()), stats)
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let (pool, stats) = pool();
+        let v: Vec<u64> = pool.acquire(100);
+        assert!(v.capacity() >= 100);
+        assert_eq!(stats.exchange.summary().pool_misses, 1);
+        pool.release(v);
+        assert_eq!(stats.exchange.summary().chunks_recycled, 1);
+        let v2: Vec<u64> = pool.acquire(100);
+        assert!(v2.capacity() >= 100);
+        assert_eq!(stats.exchange.summary().pool_hits, 1);
+    }
+
+    #[test]
+    fn acquire_prefers_big_enough_buffer() {
+        let (pool, stats) = pool();
+        pool.release::<u64>(Vec::with_capacity(10));
+        pool.release::<u64>(Vec::with_capacity(1000));
+        // Wants 100: the 10-cap buffer cannot satisfy it, the 1000-cap can.
+        let v: Vec<u64> = pool.acquire(100);
+        assert!(v.capacity() >= 100);
+        assert_eq!(stats.exchange.summary().pool_hits, 1);
+    }
+
+    #[test]
+    fn types_do_not_mix() {
+        let (pool, stats) = pool();
+        pool.release::<u64>(Vec::with_capacity(64));
+        // Same byte capacity, different element type: must be a miss.
+        let v: Vec<u32> = pool.acquire(64);
+        assert_eq!(v.len(), 0);
+        assert_eq!(stats.exchange.summary().pool_misses, 1);
+    }
+
+    #[test]
+    fn release_clears_contents() {
+        let (pool, _) = pool();
+        pool.release(vec![1u64, 2, 3]);
+        let v: Vec<u64> = pool.acquire(1);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 3);
+    }
+
+    #[test]
+    fn zero_capacity_release_is_noop() {
+        let (pool, stats) = pool();
+        pool.release::<u64>(Vec::new());
+        assert_eq!(stats.exchange.summary().chunks_recycled, 0);
+        assert_eq!(pool.held_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_drop_frees_parked_buffers() {
+        // No assertion beyond "does not leak / crash" (miri verifies).
+        let (pool, _) = pool();
+        for _ in 0..20 {
+            pool.release::<u64>(Vec::with_capacity(32));
+            pool.release::<u8>(Vec::with_capacity(7));
+        }
+        drop(pool);
+    }
+
+    #[test]
+    fn concurrent_acquire_release() {
+        let (pool, stats) = pool();
+        let pool = Arc::new(pool);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let v: Vec<u64> = pool.acquire(128);
+                        pool.release(v);
+                    }
+                });
+            }
+        });
+        let ex = stats.exchange.summary();
+        assert_eq!(ex.pool_hits + ex.pool_misses, 800);
+        assert!(ex.pool_hits > 0);
+    }
+}

@@ -61,6 +61,44 @@ impl TaskManager {
         });
     }
 
+    /// Executes `tasks` on the worker pool while `foreground` runs on the
+    /// calling thread, returning `foreground`'s result once both are done.
+    ///
+    /// This is the §IV-C "send while receiving" shape: the exchange hands
+    /// its per-destination send loops to the workers and keeps the calling
+    /// thread free to drain arrivals. Unlike [`run_tasks`], tasks are
+    /// *never* run inline on the caller — `foreground` may block until the
+    /// tasks make progress (and vice versa), so even a one-worker pool
+    /// spawns a thread here. With no tasks, `foreground` runs inline.
+    ///
+    /// [`run_tasks`]: TaskManager::run_tasks
+    pub fn run_tasks_overlapping<'env, R>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        foreground: impl FnOnce() -> R,
+    ) -> R {
+        if tasks.is_empty() {
+            return foreground();
+        }
+        let workers = self.workers.min(tasks.len());
+        let (tx, rx) = channel::unbounded::<Box<dyn FnOnce() + Send + 'env>>();
+        for t in tasks {
+            tx.send(t).expect("task queue closed");
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        task();
+                    }
+                });
+            }
+            foreground()
+        })
+    }
+
     /// Runs one closure per item on the pool and collects the results in
     /// input order.
     pub fn run_tasks_collecting<I, R, F>(&self, items: Vec<I>, f: F) -> Vec<R>
@@ -222,6 +260,42 @@ mod tests {
         }
         tm.run_tasks(tasks);
         assert_eq!(done.load(Ordering::Relaxed), 51);
+    }
+
+    #[test]
+    fn overlapping_foreground_sees_background_progress() {
+        // The foreground blocks until the background tasks have produced
+        // something — only sound if tasks genuinely run off-thread, even
+        // on a one-worker pool.
+        let tm = TaskManager::new(1);
+        let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..10u64)
+            .map(|i| {
+                let tx = tx.clone();
+                Box::new(move || tx.send(i).unwrap()) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        drop(tx);
+        let got = tm.run_tasks_overlapping(tasks, || {
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        });
+        assert_eq!(got, 45);
+    }
+
+    #[test]
+    fn overlapping_with_no_tasks_runs_foreground_inline() {
+        let tm = TaskManager::new(4);
+        let mut hit = false;
+        let out = tm.run_tasks_overlapping(Vec::new(), || {
+            hit = true;
+            7
+        });
+        assert!(hit);
+        assert_eq!(out, 7);
     }
 
     #[test]

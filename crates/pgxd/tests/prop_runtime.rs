@@ -63,11 +63,16 @@ proptest! {
     #[test]
     fn exchange_preserves_multiset_and_run_order(
         p in 1usize..6,
+        workers in 1usize..4,
+        rounds in 1usize..3,
         shard_lens in pvec(0usize..120, 1..6),
         cuts_seed in any::<u64>(),
-        buffer_bytes in prop::sample::select(vec![16usize, 64, 256, 256 * 1024]),
+        buffer_bytes in prop::sample::select(vec![8usize, 16, 64, 256, 256 * 1024]),
     ) {
         // Build per-machine shards of sorted data and random cut points.
+        // `workers` exercises the worker-driven send path; `rounds > 1`
+        // exercises a warm chunk pool (the second exchange reuses the
+        // buffers the first one recycled).
         let p = p.min(shard_lens.len()).max(1);
         let shards: Vec<Vec<u64>> = (0..p)
             .map(|m| {
@@ -75,7 +80,11 @@ proptest! {
                 (0..len as u64).map(|i| i * 3 + m as u64).collect()
             })
             .collect();
-        let cluster = Cluster::new(ClusterConfig::new(p).buffer_bytes(buffer_bytes));
+        let cluster = Cluster::new(
+            ClusterConfig::new(p)
+                .buffer_bytes(buffer_bytes)
+                .workers_per_machine(workers),
+        );
         let shards_ref = &shards;
         let report = cluster.run(|ctx| {
             let data = shards_ref[ctx.id()].clone();
@@ -90,10 +99,14 @@ proptest! {
                 offsets.push(prev + (x as usize % (data.len() - prev + 1)));
             }
             offsets.push(data.len());
-            ctx.exchange_by_offsets(&data, &offsets)
+            let mut result = ctx.exchange_by_offsets(&data, &offsets);
+            for _ in 1..rounds {
+                result = ctx.exchange_by_offsets(&data, &offsets);
+            }
+            result
         });
 
-        // Global multiset preserved.
+        // Global multiset preserved (per round; rounds are identical).
         let mut received_all: Vec<u64> = report
             .results
             .iter()
@@ -113,6 +126,48 @@ proptest! {
                 let run = &out[w[0]..w[1]];
                 prop_assert!(run.windows(2).all(|x| x[0] <= x[1]));
             }
+        }
+    }
+
+    #[test]
+    fn exchange_matches_legacy_path(
+        p in 1usize..5,
+        shard_len in 0usize..200,
+        cuts_seed in any::<u64>(),
+    ) {
+        // The reworked pipeline must be observably identical to the
+        // pre-rework exchange: same outputs, same source bounds.
+        let shards: Vec<Vec<u64>> = (0..p)
+            .map(|m| (0..shard_len as u64).map(|i| i * 5 + m as u64).collect())
+            .collect();
+        let run_one = |legacy: bool| {
+            let cluster = Cluster::new(
+                ClusterConfig::new(p).buffer_bytes(64).workers_per_machine(2),
+            );
+            let shards_ref = &shards;
+            cluster.run(move |ctx| {
+                let data = shards_ref[ctx.id()].clone();
+                let mut offsets = vec![0usize];
+                let mut x = cuts_seed | 1;
+                for _ in 0..ctx.num_machines() - 1 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let prev = *offsets.last().unwrap();
+                    offsets.push(prev + (x as usize % (data.len() - prev + 1)));
+                }
+                offsets.push(data.len());
+                if legacy {
+                    ctx.exchange_by_offsets_legacy(&data, &offsets)
+                } else {
+                    ctx.exchange_by_offsets(&data, &offsets)
+                }
+            })
+        };
+        let new = run_one(false);
+        let old = run_one(true);
+        for (n, o) in new.results.iter().zip(&old.results) {
+            prop_assert_eq!(n, o);
         }
     }
 

@@ -18,6 +18,8 @@
 //! The *naive sample sort* ablation (no investigator, Fig. 3b) does not
 //! live here: it is `pgxd_core::SortConfig::investigator(false)`.
 
+#![forbid(unsafe_code)]
+
 pub mod bitonic;
 pub mod radix;
 pub mod serialize;

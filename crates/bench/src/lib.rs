@@ -22,6 +22,8 @@
 //! Comparative claims (PGX.D vs Spark at the same `p`) always use
 //! measured wall time.
 
+#![forbid(unsafe_code)]
+
 pub mod runner;
 pub mod table;
 

@@ -11,6 +11,8 @@
 //! Everything is deterministic under a seed and parallelized per chunk so
 //! billion-scale-style generation stays fast on a laptop.
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod rmat;
 

@@ -123,7 +123,8 @@ impl<T: Send + Copy + 'static> RequestBuffer<T> {
     /// [`flush`](RequestBuffer::flush), no replacement backing store is
     /// acquired — and an unused pooled backing store is returned to the
     /// pool — so a steady-state exchange's acquires and releases balance
-    /// exactly.
+    /// exactly (the protocol checker's chunk-custody ledger verifies this
+    /// balance at every barrier in debug builds).
     pub fn finish(mut self, sender: &CommSender) {
         let data = std::mem::take(&mut self.buf);
         if data.is_empty() {

@@ -1,0 +1,385 @@
+//! Debug-mode protocol checker: a per-fabric ledger that turns rare
+//! communication races into deterministic panics.
+//!
+//! The paper's correctness story rests on invariants the type system
+//! cannot see: every packet sent is eventually received by a matching
+//! tag (§IV-B/§IV-C collective sequence discipline), every pooled chunk
+//! released exactly once, and the precomputed write offsets of
+//! [`exchange_by_offsets`](crate::machine::MachineCtx::exchange_by_offsets)
+//! tiling each destination buffer exactly once (§IV-C). A violation of
+//! any of these shows up — if at all — as a rare hang, a corrupted output
+//! permutation, or a use-after-free that only Miri notices. This module
+//! makes each one a loud panic with machine/tag context, at the moment the
+//! fabric can first prove it happened: a [`barrier`] or fabric teardown.
+//!
+//! One [`ProtocolChecker`] is shared by every machine of a fabric (created
+//! inside [`CommManager::fabric`](crate::comm::CommManager::fabric)). The
+//! hooks are compiled to no-ops unless `debug_assertions` or the `checker`
+//! feature is on — release benchmarks pay nothing, `cargo test` and the
+//! CI debug jobs get the full ledger.
+//!
+//! Quiescence checks run between *two* barrier waits (see
+//! [`MachineCtx::barrier`]): after the first wait every machine is parked
+//! inside barrier code, so no send or receive can race the ledger scan;
+//! the verdict is computed from shared state, so either every machine
+//! passes or every machine panics — a failed check can never deadlock the
+//! fabric by killing only one member.
+//!
+//! [`barrier`]: crate::machine::MachineCtx::barrier
+//! [`MachineCtx::barrier`]: crate::machine::MachineCtx::barrier
+
+use crate::comm::Tag;
+use crate::sync::Mutex;
+use std::collections::HashMap;
+
+/// Whether the checker hooks are compiled in. `const`, so the hot-path
+/// call sites fold to nothing in release builds without the `checker`
+/// feature.
+pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "checker"));
+
+/// What one parked pool chunk looks like in the ledger.
+#[derive(Debug, Clone, Copy)]
+struct ChunkInfo {
+    /// Machine whose pool currently owns the allocation.
+    machine: usize,
+    /// Byte capacity of the allocation.
+    cap_bytes: usize,
+}
+
+#[derive(Default)]
+struct Ledger {
+    /// Outstanding packets: `(src, dst, tag) → count` of sent-but-not-yet-
+    /// received packets. Entries are removed when the count reaches zero so
+    /// the map stays bounded by the number of *in-flight* packets, not the
+    /// number ever sent.
+    in_flight: HashMap<(usize, usize, Tag), usize>,
+    /// Pool chunks checked out of a pool and not yet released, keyed by
+    /// allocation address.
+    live_chunks: HashMap<usize, ChunkInfo>,
+    /// Pool chunks currently parked in a pool free list, keyed by
+    /// allocation address — releasing one of these again is the
+    /// double-release diagnostic.
+    parked_chunks: HashMap<usize, ChunkInfo>,
+}
+
+/// Fabric-wide ledger of sends, receives, and pool chunk custody. All
+/// hooks are cheap (one mutex, one hash op) and compiled out entirely when
+/// [`ENABLED`] is false.
+pub struct ProtocolChecker {
+    machines: usize,
+    ledger: Mutex<Ledger>,
+}
+
+impl ProtocolChecker {
+    /// A checker for a fabric of `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        ProtocolChecker {
+            machines,
+            ledger: Mutex::new(Ledger::default()),
+        }
+    }
+
+    /// Number of machines on the fabric this checker watches.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Records a packet entering the fabric.
+    pub fn packet_sent(&self, src: usize, dst: usize, tag: Tag) {
+        if !ENABLED {
+            return;
+        }
+        *self.ledger.lock().in_flight.entry((src, dst, tag)).or_insert(0) += 1;
+    }
+
+    /// Records a packet being consumed by its receiver. Panics if no
+    /// matching send was recorded — that is the tag-mismatch diagnostic
+    /// (a packet surfacing under a tag nobody sent to this machine).
+    pub fn packet_delivered(&self, src: usize, dst: usize, tag: Tag) {
+        if !ENABLED {
+            return;
+        }
+        let mut ledger = self.ledger.lock();
+        let remaining = ledger.in_flight.get_mut(&(src, dst, tag)).map(|n| {
+            *n -= 1;
+            *n
+        });
+        match remaining {
+            Some(0) => {
+                ledger.in_flight.remove(&(src, dst, tag));
+            }
+            Some(_) => {}
+            None => panic!(
+                "protocol checker: machine {dst} received a packet from machine {src} \
+                 with tag {tag:?} that was never sent (tag mismatch or duplicate delivery)"
+            ),
+        }
+    }
+
+    /// Records a chunk allocation leaving a pool (`machine`'s pool handed
+    /// out the buffer at `addr`).
+    pub fn chunk_acquired(&self, machine: usize, addr: usize, cap_bytes: usize) {
+        if !ENABLED {
+            return;
+        }
+        let mut ledger = self.ledger.lock();
+        ledger.parked_chunks.remove(&addr);
+        if let Some(prev) = ledger
+            .live_chunks
+            .insert(addr, ChunkInfo { machine, cap_bytes })
+        {
+            panic!(
+                "protocol checker: machine {machine} acquired chunk {addr:#x} \
+                 ({cap_bytes} B) which machine {} already holds live ({} B) — \
+                 pool handed out one allocation twice",
+                prev.machine, prev.cap_bytes
+            );
+        }
+    }
+
+    /// Records a chunk allocation returning to `machine`'s pool. `parked`
+    /// is true when the pool actually kept the allocation on a free list
+    /// (false when it was dropped at the retention bound — the allocation
+    /// is gone, so its address may be legitimately reused later).
+    ///
+    /// Panics on a double release: the address is already parked in a pool
+    /// free list.
+    pub fn chunk_released(&self, machine: usize, addr: usize, cap_bytes: usize, parked: bool) {
+        if !ENABLED {
+            return;
+        }
+        let mut ledger = self.ledger.lock();
+        if let Some(prev) = ledger.parked_chunks.get(&addr) {
+            panic!(
+                "protocol checker: machine {machine} double-released chunk {addr:#x} \
+                 ({cap_bytes} B) — already parked in machine {}'s pool",
+                prev.machine
+            );
+        }
+        ledger.live_chunks.remove(&addr);
+        if parked {
+            ledger
+                .parked_chunks
+                .insert(addr, ChunkInfo { machine, cap_bytes });
+        }
+    }
+
+    /// Forgets a parked chunk whose allocation a pool is about to free
+    /// (pool drop). The address may be reused by a future allocation.
+    pub fn chunk_freed(&self, addr: usize) {
+        if !ENABLED {
+            return;
+        }
+        self.ledger.lock().parked_chunks.remove(&addr);
+    }
+
+    /// Verifies the fabric is quiescent: no packet sent but unreceived, no
+    /// chunk checked out of a pool but never released. Called with every
+    /// machine parked (between the two waits of
+    /// [`MachineCtx::barrier`](crate::machine::MachineCtx::barrier)) or at
+    /// fabric teardown. `context` names the call site for the diagnostic;
+    /// `machine` is the reporting machine, if the check is machine-local.
+    ///
+    /// The verdict depends only on the shared ledger, so concurrent
+    /// callers all agree.
+    pub fn check_quiescent(&self, context: &str, machine: Option<usize>) {
+        if !ENABLED {
+            return;
+        }
+        let ledger = self.ledger.lock();
+        let who = match machine {
+            Some(m) => format!("machine {m}"),
+            None => "fabric".to_string(),
+        };
+        if !ledger.in_flight.is_empty() {
+            let mut undelivered: Vec<_> = ledger
+                .in_flight
+                .iter()
+                .map(|(&(src, dst, tag), &n)| (src, dst, tag, n))
+                .collect();
+            undelivered.sort();
+            let listing: Vec<String> = undelivered
+                .iter()
+                .map(|(src, dst, tag, n)| format!("{n}× {src}→{dst} tag {tag:?}"))
+                .collect();
+            panic!(
+                "protocol checker: undelivered packet(s) at {context} ({who}): [{}]",
+                listing.join(", ")
+            );
+        }
+        if !ledger.live_chunks.is_empty() {
+            let mut leaked: Vec<_> = ledger
+                .live_chunks
+                .iter()
+                .map(|(&addr, info)| (info.machine, addr, info.cap_bytes))
+                .collect();
+            leaked.sort();
+            let listing: Vec<String> = leaked
+                .iter()
+                .map(|(m, addr, b)| format!("machine {m} chunk {addr:#x} ({b} B)"))
+                .collect();
+            panic!(
+                "protocol checker: leaked chunk(s) at {context} ({who}): [{}] — \
+                 acquired from a pool but never released",
+                listing.join(", ")
+            );
+        }
+    }
+
+    /// A ledger for one machine's side of an offset exchange: records the
+    /// `(offset, len)` spans written into a destination buffer and, at
+    /// [`finish`](OffsetLedger::finish), verifies they tile `[0, total)`
+    /// exactly once.
+    pub fn offset_ledger(&self, machine: usize, tag: Tag, total: usize) -> OffsetLedger {
+        OffsetLedger {
+            machine,
+            tag,
+            total,
+            spans: Vec::new(),
+            enabled: ENABLED,
+        }
+    }
+}
+
+/// Collects the `(offset, len)` spans one machine writes into its
+/// assembled output during
+/// [`exchange_by_offsets`](crate::machine::MachineCtx::exchange_by_offsets),
+/// then proves they tile the destination exactly once (§IV-C: the
+/// precomputed write offsets must be disjoint and complete).
+///
+/// Machine-local — no locking; the receive loop owns it.
+pub struct OffsetLedger {
+    machine: usize,
+    tag: Tag,
+    total: usize,
+    spans: Vec<(usize, usize)>,
+    enabled: bool,
+}
+
+impl OffsetLedger {
+    /// A standalone ledger (tests); production code gets one from
+    /// [`ProtocolChecker::offset_ledger`].
+    pub fn new(machine: usize, tag: Tag, total: usize) -> Self {
+        OffsetLedger {
+            machine,
+            tag,
+            total,
+            spans: Vec::new(),
+            enabled: ENABLED,
+        }
+    }
+
+    /// Records one span written at element offset `offset`, `len` elements
+    /// long. Empty spans are ignored (an empty chunk writes nothing).
+    pub fn record(&mut self, offset: usize, len: usize) {
+        if !self.enabled || len == 0 {
+            return;
+        }
+        self.spans.push((offset, len));
+    }
+
+    /// Verifies the recorded spans tile `[0, total)` exactly once. Panics
+    /// with machine/tag context on an overlap or a gap.
+    pub fn finish(mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.sort_unstable();
+        let mut expected = 0usize;
+        for &(offset, len) in &self.spans {
+            if offset < expected {
+                panic!(
+                    "protocol checker: overlapping offset range on machine {} tag {:?}: \
+                     span [{offset}, {}) overlaps previously written [.., {expected})",
+                    self.machine,
+                    self.tag,
+                    offset + len,
+                );
+            }
+            if offset > expected {
+                panic!(
+                    "protocol checker: gap in offset ranges on machine {} tag {:?}: \
+                     [{expected}, {offset}) never written",
+                    self.machine, self.tag,
+                );
+            }
+            expected = offset + len;
+        }
+        if expected != self.total {
+            panic!(
+                "protocol checker: gap in offset ranges on machine {} tag {:?}: \
+                 [{expected}, {}) never written",
+                self.machine, self.tag, self.total,
+            );
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn tag() -> Tag {
+        Tag::user(0, 0)
+    }
+
+    #[test]
+    fn balanced_traffic_is_quiescent() {
+        let c = ProtocolChecker::new(2);
+        c.packet_sent(0, 1, tag());
+        c.packet_sent(0, 1, tag());
+        c.packet_delivered(0, 1, tag());
+        c.packet_delivered(0, 1, tag());
+        c.check_quiescent("test", None);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "checker"))]
+    #[should_panic(expected = "undelivered packet")]
+    fn unreceived_packet_reported() {
+        let c = ProtocolChecker::new(2);
+        c.packet_sent(0, 1, tag());
+        c.check_quiescent("test", Some(1));
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "checker"))]
+    #[should_panic(expected = "never sent")]
+    fn phantom_delivery_reported() {
+        let c = ProtocolChecker::new(2);
+        c.packet_delivered(0, 1, tag());
+    }
+
+    #[test]
+    fn chunk_custody_roundtrip() {
+        let c = ProtocolChecker::new(1);
+        c.chunk_acquired(0, 0x1000, 256);
+        c.chunk_released(0, 0x1000, 256, true);
+        c.chunk_acquired(0, 0x1000, 256);
+        c.chunk_released(0, 0x1000, 256, false);
+        c.check_quiescent("test", None);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "checker"))]
+    #[should_panic(expected = "leaked chunk")]
+    fn leaked_chunk_reported() {
+        let c = ProtocolChecker::new(1);
+        c.chunk_acquired(0, 0x2000, 64);
+        c.check_quiescent("test", Some(0));
+    }
+
+    #[test]
+    fn offset_ledger_accepts_exact_tiling() {
+        let mut l = OffsetLedger::new(0, tag(), 10);
+        l.record(4, 6);
+        l.record(0, 4);
+        l.record(7, 0); // empty span: ignored
+        l.finish();
+    }
+
+    #[test]
+    fn offset_ledger_accepts_empty_total() {
+        OffsetLedger::new(0, tag(), 0).finish();
+    }
+}

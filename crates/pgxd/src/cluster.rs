@@ -1,9 +1,11 @@
 //! Cluster construction and SPMD execution.
 
+use crate::checker;
 use crate::comm::CommManager;
 use crate::machine::MachineCtx;
 use crate::metrics::{CommStats, CommSummary, StepReport};
 use crate::net::NetworkModel;
+use crate::sync::Mutex;
 use crate::task::TaskManager;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -103,10 +105,8 @@ impl Cluster {
             self.config.machines,
             "need exactly one input shard per machine"
         );
-        let slots: Vec<parking_lot::Mutex<Option<I>>> = inputs
-            .into_iter()
-            .map(|i| parking_lot::Mutex::new(Some(i)))
-            .collect();
+        let slots: Vec<Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let slots_ref = &slots;
         let f = &f;
         self.run(move |ctx| {
@@ -131,6 +131,7 @@ impl Cluster {
         let stats = Arc::new(CommStats::new(p, self.config.net));
         let barrier = Arc::new(Barrier::new(p));
         let comms = CommManager::fabric(p, stats.clone());
+        let fabric_checker = comms[0].checker().clone();
         let start = Instant::now();
 
         let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
@@ -158,11 +159,29 @@ impl Cluster {
                     }));
                 }
                 for h in handles {
-                    let (id, r, timer) = h.join().expect("machine thread panicked");
+                    // Re-panic with the machine's own message (the payload
+                    // of a joined panic is opaque otherwise), so cluster
+                    // tests can match on the original diagnostic.
+                    let (id, r, timer) = h.join().unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        panic!("machine thread panicked: {msg}");
+                    });
                     results[id] = Some(r);
                     timers[id] = timer.steps().to_vec();
                 }
             });
+        }
+
+        // Every machine has exited and dropped its context: any packet
+        // still unconsumed or chunk still checked out of a pool is a
+        // protocol bug the run masked. No-op in release builds without
+        // the `checker` feature.
+        if checker::ENABLED {
+            fabric_checker.check_quiescent("fabric teardown", None);
         }
 
         RunReport {

@@ -13,16 +13,19 @@
 //! consecutive collectives can never steal each other's packets even when
 //! machines run ahead; a per-machine mailbox holds early arrivals.
 
+use crate::checker::ProtocolChecker;
 use crate::metrics::SharedCommStats;
 use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Message tag: `(kind, sequence)`. Collectives derive these; user code
-/// can use [`Tag::user`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// can use [`Tag::user`]. Ordered so diagnostics can list tags
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tag {
     /// Namespace of the message (collective kind or user-defined).
     pub kind: u16,
@@ -79,6 +82,9 @@ pub struct CommSender {
     id: usize,
     links: Vec<Sender<Packet>>,
     stats: SharedCommStats,
+    /// Fabric-wide protocol-checker ledger (hooks are no-ops in release
+    /// builds without the `checker` feature).
+    checker: Arc<ProtocolChecker>,
 }
 
 impl CommSender {
@@ -154,6 +160,7 @@ impl CommSender {
         if dst != self.id {
             self.stats.record_packet(wire_bytes, dst);
         }
+        self.checker.packet_sent(self.id, dst, tag);
         self.links[dst]
             .send(Packet {
                 src: self.id,
@@ -178,6 +185,7 @@ impl CommManager {
     /// Wires up a full fabric for `p` machines, returning one manager per
     /// machine.
     pub fn fabric(p: usize, stats: SharedCommStats) -> Vec<CommManager> {
+        let checker = Arc::new(ProtocolChecker::new(p));
         let mut txs = Vec::with_capacity(p);
         let mut rxs = Vec::with_capacity(p);
         for _ in 0..p {
@@ -192,11 +200,25 @@ impl CommManager {
                     id,
                     links: txs.clone(),
                     stats: stats.clone(),
+                    checker: checker.clone(),
                 },
                 inbox,
                 mailbox: HashMap::new(),
             })
             .collect()
+    }
+
+    /// The fabric-wide protocol checker shared by every machine's manager.
+    pub fn checker(&self) -> &Arc<ProtocolChecker> {
+        &self.sender.checker
+    }
+
+    /// Records a packet being handed to its consumer (checker bookkeeping;
+    /// a no-op unless the checker is compiled in).
+    fn note_delivered(&self, pkt: &Packet) {
+        self.sender
+            .checker
+            .packet_delivered(pkt.src, self.sender.id, pkt.tag);
     }
 
     /// This machine's id.
@@ -227,17 +249,27 @@ impl CommManager {
     /// Receives the next packet with `tag` from any source, blocking.
     /// Panics after two minutes (protocol bug guard).
     pub fn recv_packet(&mut self, tag: Tag) -> Packet {
-        if let Some(queue) = self.mailbox.get_mut(&tag) {
-            if let Some(pkt) = queue.pop_front() {
-                return pkt;
-            }
+        if let Some(pkt) = self.mailbox.get_mut(&tag).and_then(|q| q.pop_front()) {
+            self.note_delivered(&pkt);
+            return pkt;
         }
         loop {
-            let pkt = self
-                .inbox
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| panic!("machine {}: timed out waiting for tag {tag:?}", self.id()));
+            let pkt = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
+                let mut parked: Vec<Tag> = self
+                    .mailbox
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&t, _)| t)
+                    .collect();
+                parked.sort();
+                panic!(
+                    "machine {}: timed out waiting for tag {tag:?} \
+                     (mailbox holds tags {parked:?})",
+                    self.sender.id
+                )
+            });
             if pkt.tag == tag {
+                self.note_delivered(&pkt);
                 return pkt;
             }
             self.mailbox.entry(pkt.tag).or_default().push_back(pkt);
@@ -247,10 +279,12 @@ impl CommManager {
     /// Non-blocking receive of any already-delivered packet with `tag`.
     pub fn try_recv_packet(&mut self, tag: Tag) -> Option<Packet> {
         if let Some(pkt) = self.mailbox.get_mut(&tag).and_then(|q| q.pop_front()) {
+            self.note_delivered(&pkt);
             return Some(pkt);
         }
         while let Ok(pkt) = self.inbox.try_recv() {
             if pkt.tag == tag {
+                self.note_delivered(&pkt);
                 return Some(pkt);
             }
             self.mailbox.entry(pkt.tag).or_default().push_back(pkt);

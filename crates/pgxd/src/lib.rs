@@ -26,6 +26,24 @@
 //! wall-clock timer ([`metrics::StepTimer`]) so experiments can report the
 //! Fig. 7 step breakdown.
 //!
+//! # Verification layers
+//!
+//! The runtime's concurrency invariants are enforced by tooling, not
+//! convention (see `DESIGN.md` § *Verification & analysis*):
+//!
+//! - [`sync`] — all runtime synchronization goes through one shim, so
+//!   `RUSTFLAGS="--cfg loom"` swaps in [loom](https://docs.rs/loom) and the
+//!   `loom_pool`/`loom_exchange` tests model-check the chunk pool and the
+//!   overlapped exchange across every interleaving.
+//! - [`checker`] — a debug-mode protocol checker keeps a per-fabric ledger
+//!   of sends, receives, and pool chunk custody; barriers and fabric
+//!   teardown turn undelivered packets, leaked/double-released chunks, and
+//!   overlapping §IV-C write-offset ranges into deterministic panics.
+//! - `cargo xtask lint` — a workspace lint walks the source and confines
+//!   `unsafe` to an allowlist (`pgxd::machine`, `pgxd::pool`, `memtrack`),
+//!   requires `// SAFETY:` on every unsafe block, and bans raw
+//!   `std::thread::spawn`/`std::sync::Mutex` in this crate.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +60,7 @@
 //! ```
 
 pub mod buffer;
+pub mod checker;
 pub mod cluster;
 pub mod comm;
 pub mod csr;
@@ -50,6 +69,7 @@ pub mod metrics;
 pub mod net;
 pub mod partition;
 pub mod pool;
+pub mod sync;
 pub mod task;
 
 pub use cluster::{Cluster, ClusterConfig, RunReport};

@@ -7,6 +7,7 @@
 //! number enforces packet matching across consecutive collectives).
 
 use crate::buffer::RequestBuffer;
+use crate::checker;
 use crate::comm::{kinds, CommManager, Tag};
 use crate::metrics::{CommSummary, SharedCommStats, StepTimer};
 use crate::pool::ChunkPool;
@@ -41,6 +42,11 @@ impl MachineCtx {
         buffer_bytes: usize,
         stats: SharedCommStats,
     ) -> Self {
+        let pool = Arc::new(ChunkPool::with_checker(
+            stats.clone(),
+            comm.checker().clone(),
+            comm.id(),
+        ));
         MachineCtx {
             id: comm.id(),
             p: comm.num_machines(),
@@ -49,7 +55,7 @@ impl MachineCtx {
             timer: StepTimer::new(),
             barrier,
             buffer_bytes,
-            pool: Arc::new(ChunkPool::new(stats.clone())),
+            pool,
             stats,
             collective_seq: 0,
         }
@@ -125,8 +131,22 @@ impl MachineCtx {
     }
 
     /// Synchronizes all machines.
+    ///
+    /// In debug builds (or with the `checker` feature) the barrier also
+    /// verifies the fabric is quiescent: a barrier is the one point where
+    /// every packet sent must have been consumed and every pooled chunk
+    /// returned, so an undelivered packet or a leaked chunk here is a
+    /// protocol bug. The check runs between two waits — after the first,
+    /// every machine is parked inside this function, so the ledger cannot
+    /// change under the scan; the verdict is computed from shared state,
+    /// so all machines agree (a failure panics everywhere at once instead
+    /// of deadlocking the survivors).
     pub fn barrier(&self) {
         self.barrier.wait();
+        if checker::ENABLED {
+            self.comm.checker().check_quiescent("barrier", Some(self.id));
+            self.barrier.wait();
+        }
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -300,8 +320,11 @@ impl MachineCtx {
         // SAFETY: MaybeUninit slots carry no validity invariant; every slot
         // is written exactly once below (self-copy + per-source chunks tile
         // [0, total) by construction of the count matrix), asserted by the
-        // placement accounting before the final transmute.
+        // placement accounting before the final transmute (and verified
+        // span-by-span by the protocol checker's offset ledger in debug
+        // builds).
         unsafe { out.set_len(total) };
+        let mut ledger = self.comm.checker().offset_ledger(self.id, data_tag, total);
 
         // Self part: one memcpy straight into place, no fabric involved.
         let self_len = {
@@ -320,6 +343,7 @@ impl MachineCtx {
             self.stats
                 .exchange
                 .record_bytes_placed(std::mem::size_of_val(self_slice));
+            ledger.record(base, self_slice.len());
             self_slice.len()
         };
 
@@ -353,7 +377,8 @@ impl MachineCtx {
 
         // The receive loop: place each arriving chunk with one memcpy and
         // hand its backing store to the pool, where this machine's send
-        // tasks (and the next exchange) pick it back up.
+        // tasks (and the next exchange) pick it back up. Arriving chunks
+        // were acquired from the *sender's* pool, hence `release_inbound`.
         let comm = &mut self.comm;
         let pool = &self.pool;
         let stats = &self.stats;
@@ -373,12 +398,16 @@ impl MachineCtx {
                         chunk.len(),
                     );
                 }
+                ledger.record(offset, chunk.len());
                 remote_received += chunk.len();
                 stats
                     .exchange
                     .record_bytes_placed(chunk.len() * std::mem::size_of::<T>());
-                pool.release(chunk);
+                pool.release_inbound(chunk);
             }
+            // Debug builds: prove the self-copy and the arrived chunks
+            // tiled [0, total) exactly once (§IV-C disjoint placement).
+            ledger.finish();
             remote_received
         });
         assert_eq!(
@@ -387,11 +416,11 @@ impl MachineCtx {
             "exchange did not fill the output buffer"
         );
 
-        // SAFETY: all `total` slots initialized (asserted above);
-        // Vec<MaybeUninit<T>> and Vec<T> share layout for the same T.
         let out = {
             let mut md = ManuallyDrop::new(out);
             let (ptr, len, cap) = (md.as_mut_ptr(), md.len(), md.capacity());
+            // SAFETY: all `total` slots initialized (asserted above);
+            // Vec<MaybeUninit<T>> and Vec<T> share layout for the same T.
             unsafe { Vec::from_raw_parts(ptr as *mut T, len, cap) }
         };
         (out, source_bounds)
@@ -428,6 +457,7 @@ impl MachineCtx {
         // `written` accounting before the final transmute.
         unsafe { out.set_len(total) };
         let mut written = 0usize;
+        let mut ledger = self.comm.checker().offset_ledger(self.id, data_tag, total);
 
         // Self part: copied straight into place, no fabric involved.
         {
@@ -436,6 +466,7 @@ impl MachineCtx {
             for (i, &v) in self_slice.iter().enumerate() {
                 out[base + i] = MaybeUninit::new(v);
             }
+            ledger.record(base, self_slice.len());
             written += self_slice.len();
         }
 
@@ -459,6 +490,7 @@ impl MachineCtx {
                 for (i, &v) in chunk.iter().enumerate() {
                     out[offset + i] = MaybeUninit::new(v);
                 }
+                ledger.record(offset, chunk.len());
                 remote_received += chunk.len();
                 written += chunk.len();
             }
@@ -471,16 +503,18 @@ impl MachineCtx {
             for (i, &v) in chunk.iter().enumerate() {
                 out[offset + i] = MaybeUninit::new(v);
             }
+            ledger.record(offset, chunk.len());
             remote_received += chunk.len();
             written += chunk.len();
         }
+        ledger.finish();
         assert_eq!(written, total, "exchange did not fill the output buffer");
 
-        // SAFETY: all `total` slots initialized (asserted above);
-        // Vec<MaybeUninit<T>> and Vec<T> share layout for the same T.
         let out = {
             let mut md = ManuallyDrop::new(out);
             let (ptr, len, cap) = (md.as_mut_ptr(), md.len(), md.capacity());
+            // SAFETY: all `total` slots initialized (asserted above);
+            // Vec<MaybeUninit<T>> and Vec<T> share layout for the same T.
             unsafe { Vec::from_raw_parts(ptr as *mut T, len, cap) }
         };
         (out, source_bounds)

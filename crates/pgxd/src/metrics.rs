@@ -12,7 +12,9 @@ use std::time::{Duration, Instant};
 
 /// Cluster-wide communication counters, shared by every machine's comm
 /// manager. All counters are monotonic and relaxed — they are statistics,
-/// not synchronization.
+/// not synchronization. They deliberately use `std::sync::atomic` rather
+/// than [`crate::sync`]: keeping them invisible to loom keeps the model
+/// checker's state space tractable, and nothing ever branches on them.
 #[derive(Debug)]
 pub struct CommStats {
     /// Payload bytes handed to the fabric (sender side).

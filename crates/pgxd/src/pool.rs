@@ -19,15 +19,26 @@
 //! only ever rebuilt into a `Vec` of the exact element type it was
 //! allocated for, which keeps `Vec::from_raw_parts` sound (same layout,
 //! same alignment, same element-capacity arithmetic).
+//!
+//! Synchronization goes through [`crate::sync`], so `--cfg loom` builds
+//! model-check the shard locking (`tests/loom_pool.rs`); in debug builds
+//! a pool created by the cluster runtime also reports chunk custody to the
+//! fabric's [`ProtocolChecker`].
 
+use crate::checker::{self, ProtocolChecker};
 use crate::metrics::SharedCommStats;
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
 use std::any::TypeId;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Number of independent free-list shards.
+/// Number of independent free-list shards. Shrunk under loom so the model
+/// checker's state space stays tractable while still exercising the
+/// cross-shard cursor logic.
+#[cfg(not(loom))]
 const SHARDS: usize = 8;
+#[cfg(loom)]
+const SHARDS: usize = 2;
 
 /// Per-shard retention bound: beyond this many bytes parked in one shard,
 /// released buffers are dropped instead of pooled (keeps a pathological
@@ -40,6 +51,9 @@ struct RawChunk {
     ptr: *mut u8,
     cap_bytes: usize,
     /// Rebuilds the original `Vec<T>` (len 0) and drops it.
+    ///
+    /// SAFETY contract: must only be called with the `ptr`/`cap_bytes`
+    /// captured alongside it, exactly once.
     drop_fn: unsafe fn(*mut u8, usize),
 }
 
@@ -48,6 +62,8 @@ struct RawChunk {
 // allocation between threads is safe.
 unsafe impl Send for RawChunk {}
 
+/// SAFETY contract: `(ptr, cap_bytes)` must be the parts of an empty
+/// `Vec<T>` with capacity `cap_bytes / size_of::<T>()`, not freed yet.
 unsafe fn drop_chunk<T>(ptr: *mut u8, cap_bytes: usize) {
     // SAFETY: caller guarantees (ptr, cap_bytes) came from an empty Vec<T>
     // with capacity cap_bytes / size_of::<T>().
@@ -78,6 +94,17 @@ pub struct ChunkPool {
     shards: Vec<Mutex<Shard>>,
     cursor: AtomicUsize,
     stats: SharedCommStats,
+    /// Byte capacities this pool has ever handed out of `acquire` — a
+    /// `release` of a buffer whose capacity was never handed out means a
+    /// foreign buffer is being pushed into the free lists (debug builds
+    /// and the `checker` feature assert against it; see
+    /// [`release`](ChunkPool::release)).
+    known_caps: Mutex<HashSet<usize>>,
+    /// Fabric-wide checker custody ledger, when this pool belongs to a
+    /// running cluster (debug builds).
+    checker: Option<Arc<ProtocolChecker>>,
+    /// Machine id for checker diagnostics (`usize::MAX` = standalone pool).
+    machine: usize,
 }
 
 impl Drop for Shard {
@@ -94,6 +121,28 @@ impl Drop for Shard {
     }
 }
 
+impl Drop for ChunkPool {
+    fn drop(&mut self) {
+        // Tell the checker the parked allocations are about to be freed,
+        // so their addresses can be legitimately reused by later
+        // allocations without tripping the double-release diagnostic.
+        if checker::ENABLED {
+            if let Some(chk) = &self.checker {
+                for shard in &self.shards {
+                    let shard = shard.lock();
+                    for by_cap in shard.lists.values() {
+                        for chunks in by_cap.values() {
+                            for c in chunks {
+                                chk.chunk_freed(c.ptr as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl ChunkPool {
     /// A pool reporting its counters into `stats`.
     pub fn new(stats: SharedCommStats) -> Self {
@@ -101,6 +150,26 @@ impl ChunkPool {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             cursor: AtomicUsize::new(0),
             stats,
+            known_caps: Mutex::new(HashSet::new()),
+            checker: None,
+            machine: usize::MAX,
+        }
+    }
+
+    /// A pool that additionally reports chunk custody for `machine` to the
+    /// fabric's protocol checker (used by the cluster runtime).
+    pub(crate) fn with_checker(
+        stats: SharedCommStats,
+        checker: Arc<ProtocolChecker>,
+        machine: usize,
+    ) -> Self {
+        ChunkPool {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            cursor: AtomicUsize::new(0),
+            stats,
+            known_caps: Mutex::new(HashSet::new()),
+            checker: Some(checker),
+            machine,
         }
     }
 
@@ -131,29 +200,84 @@ impl ChunkPool {
             shard.held_bytes -= cap_bytes;
             drop(shard);
             self.stats.exchange.record_pool_hit();
+            self.note_handed_out(chunk.ptr as usize, cap_bytes);
             // SAFETY: TypeId match guarantees the allocation was made as a
             // Vec<T>, so layout/alignment agree and cap_bytes is an exact
             // multiple of size_of::<T>().
             return unsafe { Vec::from_raw_parts(chunk.ptr.cast::<T>(), 0, cap_bytes / size) };
         }
         self.stats.exchange.record_pool_miss();
-        Vec::with_capacity(cap_elems)
+        let fresh: Vec<T> = Vec::with_capacity(cap_elems);
+        if fresh.capacity() > 0 {
+            self.note_handed_out(fresh.as_ptr() as usize, fresh.capacity() * size);
+        }
+        fresh
+    }
+
+    /// Records an allocation leaving the pool (debug builds): its capacity
+    /// becomes a legitimate `release` key, and the fabric checker starts
+    /// tracking its custody.
+    fn note_handed_out(&self, addr: usize, cap_bytes: usize) {
+        if !checker::ENABLED {
+            return;
+        }
+        self.known_caps.lock().insert(cap_bytes);
+        if let Some(chk) = &self.checker {
+            chk.chunk_acquired(self.machine, addr, cap_bytes);
+        }
     }
 
     /// Returns a spent chunk buffer to the pool. The contents are cleared;
     /// only the allocation is kept. Buffers of zero capacity (or arriving
     /// while the shard is at its retention bound) are simply dropped.
-    pub fn release<T: Send + 'static>(&self, mut buf: Vec<T>) {
+    ///
+    /// In debug builds (or with the `checker` feature) this asserts the
+    /// buffer's byte capacity matches one this pool ever handed out — a
+    /// foreign buffer pushed into the free lists would otherwise poison
+    /// them silently. Chunks that arrived over the fabric from *another*
+    /// machine's pool go through `release_inbound` instead, which admits
+    /// their capacity.
+    pub fn release<T: Send + 'static>(&self, buf: Vec<T>) {
+        self.release_impl(buf, false);
+    }
+
+    /// Returns an *inbound* chunk — one whose backing store was acquired
+    /// from the sending machine's pool and arrived here over the fabric —
+    /// adopting its capacity as a legitimate key for this pool.
+    pub(crate) fn release_inbound<T: Send + 'static>(&self, buf: Vec<T>) {
+        self.release_impl(buf, true);
+    }
+
+    fn release_impl<T: Send + 'static>(&self, mut buf: Vec<T>, admit_capacity: bool) {
         let size = std::mem::size_of::<T>();
         buf.clear();
         let cap_bytes = buf.capacity() * size;
         if cap_bytes == 0 {
             return;
         }
+        if checker::ENABLED {
+            let mut known = self.known_caps.lock();
+            if admit_capacity {
+                known.insert(cap_bytes);
+            } else {
+                assert!(
+                    known.contains(&cap_bytes),
+                    "ChunkPool::release: machine {} got a foreign buffer \
+                     ({cap_bytes} B capacity, type {}) that this pool never \
+                     handed out — release_inbound is for chunks from remote \
+                     pools",
+                    self.machine_label(),
+                    std::any::type_name::<T>(),
+                );
+            }
+        }
+        let addr = buf.as_ptr() as usize;
         let shard_idx = self.cursor.fetch_add(1, Ordering::Relaxed) % SHARDS;
         let mut shard = self.shards[shard_idx].lock();
         if shard.held_bytes + cap_bytes > MAX_SHARD_BYTES {
-            return; // lock drops, buf drops: allocation is freed
+            drop(shard);
+            self.note_released(addr, cap_bytes, false);
+            return; // buf drops: allocation is freed
         }
         let mut buf = std::mem::ManuallyDrop::new(buf);
         let chunk = RawChunk {
@@ -171,6 +295,27 @@ impl ChunkPool {
             .push(chunk);
         drop(shard);
         self.stats.exchange.record_recycled();
+        self.note_released(addr, cap_bytes, true);
+    }
+
+    /// Records an allocation returning to the pool for the fabric checker
+    /// (debug builds). `parked` is false when the retention bound dropped
+    /// the allocation instead of keeping it.
+    fn note_released(&self, addr: usize, cap_bytes: usize, parked: bool) {
+        if !checker::ENABLED {
+            return;
+        }
+        if let Some(chk) = &self.checker {
+            chk.chunk_released(self.machine, addr, cap_bytes, parked);
+        }
+    }
+
+    fn machine_label(&self) -> String {
+        if self.machine == usize::MAX {
+            "<standalone>".to_string()
+        } else {
+            self.machine.to_string()
+        }
     }
 
     /// Total bytes currently parked across all shards (diagnostics).
@@ -179,7 +324,7 @@ impl ChunkPool {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::metrics::CommStats;
@@ -201,36 +346,46 @@ mod tests {
         let v2: Vec<u64> = pool.acquire(100);
         assert!(v2.capacity() >= 100);
         assert_eq!(stats.exchange.summary().pool_hits, 1);
+        pool.release(v2);
     }
 
     #[test]
     fn acquire_prefers_big_enough_buffer() {
         let (pool, stats) = pool();
-        pool.release::<u64>(Vec::with_capacity(10));
-        pool.release::<u64>(Vec::with_capacity(1000));
+        let small: Vec<u64> = pool.acquire(10);
+        let big: Vec<u64> = pool.acquire(1000);
+        pool.release(small);
+        pool.release(big);
         // Wants 100: the 10-cap buffer cannot satisfy it, the 1000-cap can.
         let v: Vec<u64> = pool.acquire(100);
-        assert!(v.capacity() >= 100);
+        assert!(v.capacity() >= 1000);
         assert_eq!(stats.exchange.summary().pool_hits, 1);
+        pool.release(v);
     }
 
     #[test]
     fn types_do_not_mix() {
         let (pool, stats) = pool();
-        pool.release::<u64>(Vec::with_capacity(64));
-        // Same byte capacity, different element type: must be a miss.
+        let owned: Vec<u64> = pool.acquire(64);
+        pool.release(owned);
+        // A pooled u64 buffer covers the byte size, but the element type
+        // differs: must be a miss.
         let v: Vec<u32> = pool.acquire(64);
         assert_eq!(v.len(), 0);
-        assert_eq!(stats.exchange.summary().pool_misses, 1);
+        assert_eq!(stats.exchange.summary().pool_misses, 2);
+        assert_eq!(stats.exchange.summary().pool_hits, 0);
     }
 
     #[test]
     fn release_clears_contents() {
         let (pool, _) = pool();
-        pool.release(vec![1u64, 2, 3]);
+        let mut v: Vec<u64> = pool.acquire(3);
+        v.extend([1, 2, 3]);
+        pool.release(v);
         let v: Vec<u64> = pool.acquire(1);
         assert!(v.is_empty());
         assert!(v.capacity() >= 3);
+        pool.release(v);
     }
 
     #[test]
@@ -242,12 +397,37 @@ mod tests {
     }
 
     #[test]
+    fn inbound_chunk_adopted_and_recirculated() {
+        // A chunk arriving over the fabric originates on the *sender's*
+        // pool; release_inbound admits it, after which it recirculates
+        // like any owned buffer.
+        let (pool, stats) = pool();
+        pool.release_inbound(vec![1u64, 2, 3, 4]);
+        assert_eq!(stats.exchange.summary().chunks_recycled, 1);
+        let v: Vec<u64> = pool.acquire(4);
+        assert!(v.capacity() >= 4);
+        assert_eq!(stats.exchange.summary().pool_hits, 1);
+        pool.release(v);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "checker"))]
+    #[should_panic(expected = "foreign buffer")]
+    fn foreign_release_asserts() {
+        let (pool, _) = pool();
+        // Never handed out by this pool and not inbound: must assert.
+        pool.release(vec![1u64, 2, 3]);
+    }
+
+    #[test]
     fn pool_drop_frees_parked_buffers() {
         // No assertion beyond "does not leak / crash" (miri verifies).
         let (pool, _) = pool();
         for _ in 0..20 {
-            pool.release::<u64>(Vec::with_capacity(32));
-            pool.release::<u8>(Vec::with_capacity(7));
+            let a: Vec<u64> = pool.acquire(32);
+            let b: Vec<u8> = pool.acquire(7);
+            pool.release(a);
+            pool.release(b);
         }
         drop(pool);
     }

@@ -1,0 +1,183 @@
+//! Synchronization shim: the one import point for the primitives the
+//! runtime synchronizes through, swappable between the production
+//! implementations and [loom]'s model-checked versions.
+//!
+//! Compiled normally, every export resolves to `std`/`parking_lot` with
+//! zero overhead over using them directly. Compiled with `--cfg loom`
+//! (`RUSTFLAGS="--cfg loom" cargo test -p pgxd --release --test loom_pool
+//! --test loom_exchange`), every export resolves to the `loom` equivalent,
+//! so the loom tests can exhaustively explore thread interleavings of the
+//! chunk pool and the overlapped-exchange protocol instead of sampling
+//! whichever schedule the OS happens to produce.
+//!
+//! Everything in `pgxd` that synchronizes between threads must go through
+//! this module or through [`TaskManager`](crate::task::TaskManager) —
+//! `cargo xtask lint` enforces that `std::sync::Mutex`,
+//! `parking_lot::Mutex`, and `std::thread::spawn` do not appear anywhere
+//! else in the crate, so no code path can silently opt out of model
+//! checking.
+//!
+//! The deliberate exceptions, documented here so the policy is auditable:
+//!
+//! - [`CommStats`](crate::metrics::CommStats) counters stay on
+//!   `std::sync::atomic` — they are monotonic statistics with `Relaxed`
+//!   ordering that never gate control flow, and keeping them invisible to
+//!   loom keeps the model state space tractable.
+//! - The fabric channels ([`comm`](crate::comm)) are crossbeam channels
+//!   and `std::sync::Barrier`; loom cannot model them, so the loom tests
+//!   exercise a miniature queue-based fabric built from this module's
+//!   `Mutex`/`Condvar` instead (`tests/loom_exchange.rs`).
+//!
+//! [loom]: https://docs.rs/loom
+
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+#[cfg(loom)]
+pub use loom::sync::atomic;
+
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+#[cfg(loom)]
+pub use loom::sync::Arc;
+
+#[cfg(not(loom))]
+pub use std::thread;
+#[cfg(loom)]
+pub use loom::thread;
+
+/// Guard type returned by [`Mutex::lock`].
+#[cfg(not(loom))]
+pub type MutexGuard<'a, T> = parking_lot::MutexGuard<'a, T>;
+/// Guard type returned by [`Mutex::lock`].
+#[cfg(loom)]
+pub type MutexGuard<'a, T> = loom::sync::MutexGuard<'a, T>;
+
+/// Mutual exclusion for the pool shards and checker ledgers:
+/// `parking_lot::Mutex` in production builds, `loom::sync::Mutex` under
+/// `--cfg loom`.
+///
+/// The API is the infallible `parking_lot` one — under loom, poisoning
+/// cannot be observed because a panicking model execution aborts the run.
+pub struct Mutex<T> {
+    #[cfg(not(loom))]
+    inner: parking_lot::Mutex<T>,
+    #[cfg(loom)]
+    inner: loom::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            #[cfg(not(loom))]
+            inner: parking_lot::Mutex::new(value),
+            #[cfg(loom)]
+            inner: loom::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(not(loom))]
+        {
+            self.inner.lock()
+        }
+        #[cfg(loom)]
+        {
+            self.inner.lock().unwrap()
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Condition variable paired with [`Mutex`]: `parking_lot::Condvar` in
+/// production builds, `loom::sync::Condvar` under `--cfg loom`. Used by
+/// the loom tests' miniature fabric; exported here so test code does not
+/// have to name the backing crate.
+pub struct Condvar {
+    #[cfg(not(loom))]
+    inner: parking_lot::Condvar,
+    #[cfg(loom)]
+    inner: loom::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            #[cfg(not(loom))]
+            inner: parking_lot::Condvar::new(),
+            #[cfg(loom)]
+            inner: loom::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks on `guard` until notified, reacquiring the lock on wake.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(not(loom))]
+        {
+            let mut guard = guard;
+            self.inner.wait(&mut guard);
+            guard
+        }
+        #[cfg(loom)]
+        {
+            self.inner.wait(guard).unwrap()
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one()
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all()
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let h = std::thread::spawn(move || {
+            *m2.lock() = true;
+            cv2.notify_one();
+        });
+        let mut guard = m.lock();
+        while !*guard {
+            guard = cv.wait(guard);
+        }
+        h.join().unwrap();
+    }
+}

@@ -6,6 +6,12 @@
 //! sort: work is expressed as a task list, every worker pulls the next
 //! task when it finishes its current one (so uneven tasks self-balance),
 //! and a parallel step completes when the list is drained.
+//!
+//! This module and [`crate::sync`] are the only sanctioned ways to put
+//! work on another thread inside `pgxd` — `cargo xtask lint` bans raw
+//! `std::thread::spawn` elsewhere in the crate, so every spawned thread
+//! is scoped (joined before the parallel step returns) and visible to the
+//! verification tooling.
 
 use crossbeam::channel;
 

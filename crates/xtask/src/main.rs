@@ -1,0 +1,700 @@
+//! Workspace automation. The one subcommand, `lint`, walks every `.rs`
+//! file in the workspace and enforces the unsafe-boundary policy that the
+//! compiler cannot (run it as `cargo xtask lint`):
+//!
+//! 1. **Unsafe allowlist** — the `unsafe` keyword may appear only in the
+//!    files that implement the exchange hot path and the tracking
+//!    allocator (`pgxd::machine`, `pgxd::pool`, `memtrack`). Everything
+//!    else stays safe Rust.
+//! 2. **`// SAFETY:` comments** — every `unsafe` block and `unsafe impl`
+//!    must be preceded (same line or the comment block directly above) by
+//!    a comment containing `SAFETY:` stating the proof obligation.
+//!    `unsafe fn` declarations are exempt (their contract is documented on
+//!    the item), but the blocks inside their callers are not.
+//! 3. **`#![forbid(unsafe_code)]`** — every crate root outside the
+//!    allowlisted crates must carry the attribute, so new `unsafe` cannot
+//!    creep in without showing up in this file's allowlist.
+//! 4. **Sync-shim discipline** — inside `crates/pgxd/src`, thread spawning
+//!    and locking must go through `pgxd::task::TaskManager` or
+//!    `pgxd::sync` (the loom-swappable shim): direct `std::thread::spawn`,
+//!    `std::sync::Mutex`, `parking_lot::Mutex`, or `parking_lot::Condvar`
+//!    are banned everywhere except `sync.rs` itself.
+//!
+//! The scanner strips comments, strings, and char literals before looking
+//! for tokens, so prose mentioning `unsafe` or a banned path never trips
+//! a rule. Exit status is non-zero if any violation is found.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain the `unsafe` keyword (workspace-relative,
+/// `/`-separated).
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/pgxd/src/machine.rs",
+    "crates/pgxd/src/pool.rs",
+    "crates/memtrack/src/lib.rs",
+];
+
+/// Crates whose roots are NOT required to carry `#![forbid(unsafe_code)]`
+/// (they own the allowlisted unsafe files).
+const UNSAFE_CRATES: &[&str] = &["crates/pgxd", "crates/memtrack"];
+
+/// Token sequences banned inside `crates/pgxd/src` (must use the
+/// `TaskManager` / `pgxd::sync` shim instead), except in the shim itself.
+const BANNED_IN_PGXD: &[&str] = &[
+    "std::thread::spawn",
+    "std::sync::Mutex",
+    "parking_lot::Mutex",
+    "parking_lot::Condvar",
+];
+
+/// The one file allowed to name the banned primitives: the shim.
+const SYNC_SHIM: &str = "crates/pgxd/src/sync.rs";
+
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A source file split into per-line code and comment text, with string
+/// and char literals removed from the code.
+struct StrippedFile {
+    code: Vec<String>,
+    comments: Vec<String>,
+}
+
+/// Strips `source` into code and comment channels. Handles line comments,
+/// nested block comments, string literals (plain, byte, raw with any `#`
+/// count), char literals, and lifetimes.
+fn strip(source: &str) -> StrippedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut i = 0;
+    // Whether the previous code char continues an identifier (so an `r` or
+    // `b` here is part of a name like `ptr`, not a raw-string prefix).
+    let mut prev_ident = false;
+
+    macro_rules! newline {
+        () => {{
+            code.push(String::new());
+            comments.push(String::new());
+        }};
+    }
+    macro_rules! push_code {
+        ($c:expr) => {{
+            let c: char = $c;
+            if c == '\n' {
+                newline!();
+            } else {
+                code.last_mut().unwrap().push(c);
+            }
+            prev_ident = c.is_alphanumeric() || c == '_';
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment (covers `///` and `//!` too).
+        if c == '/' && next == Some('/') {
+            i += 2;
+            while i < chars.len() && chars[i] != '\n' {
+                comments.last_mut().unwrap().push(chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && next == Some('*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        newline!();
+                    } else {
+                        comments.last_mut().unwrap().push(chars[i]);
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw string r"..." / r#"..."# (and br variants via the `b` case
+        // falling through to here on its second char).
+        if c == 'r' && !prev_ident && matches!(next, Some('"') | Some('#')) {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Consume until `"` followed by `hashes` hashes.
+                j += 1;
+                loop {
+                    match chars.get(j) {
+                        None => break,
+                        Some('"') => {
+                            let mut k = 0;
+                            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        Some('\n') => {
+                            newline!();
+                            j += 1;
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+                i = j;
+                prev_ident = true; // a literal ends like an expression
+                continue;
+            }
+            // `r#ident` raw identifier: emit and move on.
+            push_code!(c);
+            i += 1;
+            continue;
+        }
+
+        // Byte-string prefix: treat the `b` as code and let the `"` / `r`
+        // that follows be handled on the next iteration.
+        if c == 'b' && !prev_ident && matches!(next, Some('"') | Some('r') | Some('\'')) {
+            // Emit nothing for the prefix; `prev_ident` must stay false so
+            // the next char is seen as a literal opener.
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        newline!();
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            prev_ident = true;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char: consume to the closing quote.
+                i += 2;
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                prev_ident = true;
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                // 'x' — including '"', which must not open a string.
+                i += 3;
+                prev_ident = true;
+                continue;
+            }
+            // Lifetime or label: emit the quote as code and continue.
+            push_code!(c);
+            i += 1;
+            continue;
+        }
+
+        push_code!(c);
+        i += 1;
+    }
+
+    StrippedFile { code, comments }
+}
+
+/// Code tokens with their 1-based line numbers: identifiers (including
+/// keywords) as words, everything else as single chars.
+fn tokens(code: &[String]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in code.iter().enumerate() {
+        let mut word = String::new();
+        for ch in line.chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                word.push(ch);
+            } else {
+                if !word.is_empty() {
+                    out.push((idx + 1, std::mem::take(&mut word)));
+                }
+                if !ch.is_whitespace() {
+                    out.push((idx + 1, ch.to_string()));
+                }
+            }
+        }
+        if !word.is_empty() {
+            out.push((idx + 1, word));
+        }
+    }
+    out
+}
+
+/// True if line `line` (1-based) is covered by a `SAFETY:` comment — on
+/// the same line or in the comment block directly above (only blank or
+/// comment-only lines may intervene).
+fn has_safety_comment(file: &StrippedFile, line: usize) -> bool {
+    let idx = line - 1;
+    if file.comments[idx].contains("SAFETY") {
+        return true;
+    }
+    for j in (0..idx).rev() {
+        if !file.code[j].trim().is_empty() {
+            return false;
+        }
+        if file.comments[j].contains("SAFETY") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lints one file's stripped source. `rel` is the workspace-relative path
+/// with `/` separators.
+fn lint_file(rel: &str, source: &str, violations: &mut Vec<Violation>) {
+    let stripped = strip(source);
+    let toks = tokens(&stripped.code);
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&rel);
+
+    for (i, (line, tok)) in toks.iter().enumerate() {
+        if tok != "unsafe" {
+            continue;
+        }
+        if !allowlisted {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: *line,
+                rule: "unsafe-allowlist",
+                message: format!(
+                    "`unsafe` outside the allowlist ({}); move the code \
+                     into an allowlisted module or make it safe",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            });
+            continue;
+        }
+        // `unsafe fn` declarations (and fn-pointer types) are contracts,
+        // not uses; everything else — blocks, impls — needs a SAFETY note.
+        if toks.get(i + 1).map(|(_, t)| t.as_str()) == Some("fn") {
+            continue;
+        }
+        if !has_safety_comment(&stripped, *line) {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: *line,
+                rule: "safety-comment",
+                message: "`unsafe` block/impl without a `// SAFETY:` comment \
+                          directly above"
+                    .to_string(),
+            });
+        }
+    }
+
+    if rel.starts_with("crates/pgxd/src/") && rel != SYNC_SHIM {
+        for (idx, line) in stripped.code.iter().enumerate() {
+            let compact: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+            for banned in BANNED_IN_PGXD {
+                if compact.contains(banned) {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "sync-shim",
+                        message: format!(
+                            "`{banned}` bypasses the loom-swappable shim; use \
+                             `crate::sync` or `TaskManager` instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Checks one crate root for `#![forbid(unsafe_code)]`.
+fn lint_crate_root(rel: &str, source: &str, violations: &mut Vec<Violation>) {
+    if !source.contains("#![forbid(unsafe_code)]") {
+        violations.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target` and
+/// hidden directories.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Crate root files (`src/lib.rs`, falling back to `src/main.rs`) for
+/// every crate under `<root>/crates` plus the workspace root package.
+fn crate_roots(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut roots = Vec::new();
+    let mut dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                dirs.push(entry.path());
+            }
+        }
+    }
+    for dir in dirs {
+        if !dir.join("Cargo.toml").is_file() {
+            continue;
+        }
+        for candidate in ["src/lib.rs", "src/main.rs"] {
+            let path = dir.join(candidate);
+            if path.is_file() {
+                roots.push((relpath(root, &path), path));
+                break;
+            }
+        }
+    }
+    roots
+}
+
+fn relpath(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs every lint over the workspace at `root`.
+fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    collect_rs(&root.join("src"), &mut files);
+    files.sort();
+    for path in &files {
+        let rel = relpath(root, path);
+        match std::fs::read_to_string(path) {
+            Ok(source) => lint_file(&rel, &source, &mut violations),
+            Err(e) => violations.push(Violation {
+                file: rel,
+                line: 0,
+                rule: "io",
+                message: format!("unreadable: {e}"),
+            }),
+        }
+    }
+
+    for (rel, path) in crate_roots(root) {
+        let crate_dir = rel.rsplit_once("/src/").map(|(d, _)| d).unwrap_or("");
+        if UNSAFE_CRATES.contains(&crate_dir) {
+            continue;
+        }
+        if let Ok(source) = std::fs::read_to_string(&path) {
+            lint_crate_root(&rel, &source, &mut violations);
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    violations
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> workspace root. CARGO_MANIFEST_DIR is set both
+    // under `cargo run` and `cargo test`.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().expect("cwd"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "lint".to_string());
+    match mode.as_str() {
+        "lint" => {
+            let root = workspace_root();
+            let violations = lint_workspace(&root);
+            if violations.is_empty() {
+                println!("xtask lint: ok ({} allowlisted unsafe files)", UNSAFE_ALLOWLIST.len());
+                return;
+            }
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            std::process::exit(1);
+        }
+        other => {
+            eprintln!("unknown xtask subcommand `{other}` (expected: lint)");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A scratch workspace on disk, deleted on drop.
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            static SEQ: AtomicUsize = AtomicUsize::new(0);
+            let root = std::env::temp_dir().join(format!(
+                "xtask-lint-test-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&root).unwrap();
+            Fixture { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) -> &Self {
+            let path = self.root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, content).unwrap();
+            self
+        }
+
+        fn lint(&self) -> Vec<Violation> {
+            lint_workspace(&self.root)
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    fn rules(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_crate_passes() {
+        let fx = Fixture::new();
+        fx.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n")
+            .write(
+                "crates/demo/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f() -> u32 { 1 }\n",
+            );
+        assert_eq!(fx.lint(), Vec::new());
+    }
+
+    #[test]
+    fn unallowed_unsafe_flagged() {
+        let fx = Fixture::new();
+        fx.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n")
+            .write(
+                "crates/demo/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            );
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["unsafe-allowlist"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn missing_safety_comment_flagged_in_allowlisted_file() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/pool.rs",
+                "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+            );
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["safety-comment"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_same_line_or_above_accepted() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/pool.rs",
+                "pub fn f(p: *const u8) -> (u8, u8) {\n\
+                 \x20   // SAFETY: caller contract, see docs.\n\
+                 \x20   let a = unsafe { *p };\n\
+                 \x20   let b = unsafe { *p }; // SAFETY: as above.\n\
+                 \x20   (a, b)\n\
+                 }\n\
+                 // SAFETY: no shared state.\n\
+                 unsafe impl Send for Foo {}\n\
+                 struct Foo(*mut u8);\n",
+            );
+        assert_eq!(fx.lint(), Vec::new());
+    }
+
+    #[test]
+    fn unsafe_fn_declaration_exempt_from_safety_comment() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/pool.rs",
+                "/// Contract: p valid.\npub unsafe fn f(p: *const u8) {}\n\
+                 struct R { g: unsafe fn(*mut u8) }\n",
+            );
+        assert_eq!(fx.lint(), Vec::new());
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_ignored() {
+        let fx = Fixture::new();
+        fx.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n")
+            .write(
+                "crates/demo/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 //! Docs may say unsafe { freely }.\n\
+                 /* block comments too: unsafe impl */\n\
+                 pub fn f() -> (&'static str, &'static str, char) {\n\
+                 \x20   (\"unsafe { in a string }\", r#\"raw unsafe \"quoted\" here\"#, '\"')\n\
+                 }\n",
+            );
+        assert_eq!(fx.lint(), Vec::new());
+    }
+
+    #[test]
+    fn missing_forbid_attribute_flagged() {
+        let fx = Fixture::new();
+        fx.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n")
+            .write("crates/demo/src/lib.rs", "pub fn f() {}\n");
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["forbid-unsafe"]);
+    }
+
+    #[test]
+    fn pgxd_and_memtrack_exempt_from_forbid() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write("crates/pgxd/src/lib.rs", "pub fn f() {}\n")
+            .write("crates/memtrack/Cargo.toml", "[package]\nname = \"m\"\n")
+            .write("crates/memtrack/src/lib.rs", "pub fn g() {}\n");
+        assert_eq!(fx.lint(), Vec::new());
+    }
+
+    #[test]
+    fn banned_sync_primitive_in_pgxd_flagged() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/lib.rs",
+                "pub fn f() {\n    let _ = std::thread::spawn(|| ());\n}\n\
+                 pub fn g() {\n    let _m = parking_lot::Mutex::new(());\n}\n",
+            );
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["sync-shim", "sync-shim"]);
+        assert_eq!((v[0].line, v[1].line), (2, 5));
+    }
+
+    #[test]
+    fn sync_shim_itself_may_name_the_primitives() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/sync.rs",
+                "pub type M<T> = parking_lot::Mutex<T>;\n",
+            )
+            .write(
+                "crates/pgxd/src/lib.rs",
+                "pub mod sync;\n// std::sync::Mutex in a comment is fine.\n",
+            );
+        assert_eq!(fx.lint(), Vec::new());
+    }
+
+    #[test]
+    fn tests_and_benches_are_scanned_too() {
+        let fx = Fixture::new();
+        fx.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n")
+            .write("crates/demo/src/lib.rs", "#![forbid(unsafe_code)]\n")
+            .write(
+                "crates/demo/tests/t.rs",
+                "#[test]\nfn t() { let p = &1u8 as *const u8; let _ = unsafe { *p }; }\n",
+            );
+        assert_eq!(rules(&fx.lint()), vec!["unsafe-allowlist"]);
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        let violations = lint_workspace(&workspace_root());
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

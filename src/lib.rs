@@ -17,6 +17,8 @@
 //!   bitonic, partitioned radix, naive sample sort).
 //! - [`pgxd_memtrack`] — tracking allocator for memory experiments.
 
+#![forbid(unsafe_code)]
+
 pub use pgxd;
 pub use pgxd_algos;
 pub use pgxd_baselines;

@@ -128,6 +128,9 @@ impl Cluster {
         F: Fn(&mut MachineCtx) -> R + Sync,
     {
         let p = self.config.machines;
+        // ClusterConfig's fields are pub, so a struct-literal config can
+        // bypass the machines > 0 assert in ClusterConfig::new.
+        assert!(p > 0, "need at least one machine");
         let stats = Arc::new(CommStats::new(p, self.config.net));
         let barrier = Arc::new(Barrier::new(p));
         let comms = CommManager::fabric(p, stats.clone());
@@ -161,14 +164,17 @@ impl Cluster {
                 for h in handles {
                     // Re-panic with the machine's own message (the payload
                     // of a joined panic is opaque otherwise), so cluster
-                    // tests can match on the original diagnostic.
+                    // tests can match on the original diagnostic. Typed
+                    // payloads (std::panic::panic_any) propagate intact.
                     let (id, r, timer) = h.join().unwrap_or_else(|payload| {
                         let msg = payload
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                        panic!("machine thread panicked: {msg}");
+                            .or_else(|| payload.downcast_ref::<String>().cloned());
+                        match msg {
+                            Some(msg) => panic!("machine thread panicked: {msg}"),
+                            None => std::panic::resume_unwind(payload),
+                        }
                     });
                     results[id] = Some(r);
                     timers[id] = timer.steps().to_vec();

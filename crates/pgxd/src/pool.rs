@@ -28,9 +28,14 @@
 use crate::checker::{self, ProtocolChecker};
 use crate::metrics::SharedCommStats;
 use crate::sync::atomic::{AtomicUsize, Ordering};
-use crate::sync::{Arc, Mutex};
+use crate::sync::Mutex;
 use std::any::TypeId;
 use std::collections::{BTreeMap, HashMap, HashSet};
+// The checker handle is deliberately a std Arc, not the loom one from
+// crate::sync: it is plain shared ownership of non-loom-modeled state
+// (the ledger's own Mutex is the shim's), and the fabric side
+// (comm/machine/cluster) hands it over as std::sync::Arc.
+use std::sync::Arc;
 
 /// Number of independent free-list shards. Shrunk under loom so the model
 /// checker's state space stays tractable while still exercising the
@@ -198,9 +203,13 @@ impl ChunkPool {
                 by_cap.remove(&cap_bytes);
             }
             shard.held_bytes -= cap_bytes;
+            // Ledger update happens inside the shard critical section so
+            // custody order and ledger order can never diverge: once the
+            // lock drops, a concurrent release may re-park this address,
+            // and its chunk_released must observe our chunk_acquired.
+            self.note_handed_out(chunk.ptr as usize, cap_bytes);
             drop(shard);
             self.stats.exchange.record_pool_hit();
-            self.note_handed_out(chunk.ptr as usize, cap_bytes);
             // SAFETY: TypeId match guarantees the allocation was made as a
             // Vec<T>, so layout/alignment agree and cap_bytes is an exact
             // multiple of size_of::<T>().
@@ -275,8 +284,8 @@ impl ChunkPool {
         let shard_idx = self.cursor.fetch_add(1, Ordering::Relaxed) % SHARDS;
         let mut shard = self.shards[shard_idx].lock();
         if shard.held_bytes + cap_bytes > MAX_SHARD_BYTES {
-            drop(shard);
             self.note_released(addr, cap_bytes, false);
+            drop(shard);
             return; // buf drops: allocation is freed
         }
         let mut buf = std::mem::ManuallyDrop::new(buf);
@@ -293,9 +302,14 @@ impl ChunkPool {
             .entry(cap_bytes)
             .or_default()
             .push(chunk);
+        // Record the release inside the critical section that publishes the
+        // chunk: the moment the shard lock drops, a concurrent acquire can
+        // pop this chunk and record chunk_acquired — the ledger must
+        // already show it parked by then, or the checker reports a phantom
+        // "handed out twice".
+        self.note_released(addr, cap_bytes, true);
         drop(shard);
         self.stats.exchange.record_recycled();
-        self.note_released(addr, cap_bytes, true);
     }
 
     /// Records an allocation returning to the pool for the fabric checker
@@ -450,5 +464,30 @@ mod tests {
         let ex = stats.exchange.summary();
         assert_eq!(ex.pool_hits + ex.pool_misses, 800);
         assert!(ex.pool_hits > 0);
+    }
+
+    #[test]
+    fn concurrent_custody_ledger_stays_consistent() {
+        // Regression: the checker ledger must be updated inside the shard
+        // critical section. With the old unlock-then-notify ordering, an
+        // acquire racing a release could pop a chunk and record
+        // chunk_acquired before the release's chunk_released landed,
+        // tripping a phantom "handed out twice" panic on a correct run.
+        let stats: SharedCommStats = Arc::new(CommStats::default());
+        let chk = Arc::new(ProtocolChecker::new(1));
+        let pool = Arc::new(ChunkPool::with_checker(stats, chk.clone(), 0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let v: Vec<u64> = pool.acquire(128);
+                        pool.release(v);
+                    }
+                });
+            }
+        });
+        // Every buffer was released: nothing may still be live.
+        chk.check_quiescent("pool stress teardown", Some(0));
     }
 }

@@ -13,6 +13,7 @@
 //! exp fig11   [--scale=S] [--ef=E]
 //! exp ablation [--n=N] [--procs=P]
 //! exp exchange [--n=N] [--procs=P] [--workers=W]
+//! exp trace   [--n=N] [--procs=P] [--workers=W]
 //! exp all     — run everything with defaults
 //! ```
 //!
@@ -20,10 +21,18 @@
 //! `results/<name>.json`. `exp exchange` benchmarks the §IV-C offset
 //! exchange in isolation — pooled/overlapped pipeline vs the legacy
 //! per-element path — and writes `results/bench_exchange.json`.
+//!
+//! `exp trace` runs one sort with the structured trace layer on and writes
+//! `results/trace_sort.json` (Chrome `trace_event` format — load it in
+//! Perfetto / chrome://tracing) plus `results/trace_sort.jsonl`, then
+//! prints the derived views (step Gantt, exchange overlap, barrier skew).
+//! Passing `--trace` to `fig7` does the same for its normal-distribution
+//! run (`results/trace_fig7.json`).
 
+use pgxd::trace::TraceConfig;
 use pgxd_bench::runner::{
-    fmt_secs, run_exchange_bench, run_pgxd_sort, run_spark_sort, ExchangeBenchResult, ExpResult,
-    Workload,
+    fmt_secs, run_exchange_bench, run_pgxd_sort, run_pgxd_sort_traced, run_spark_sort,
+    ExchangeBenchResult, ExpResult, Workload,
 };
 use pgxd_bench::table::Table;
 use pgxd_core::{LoadStats, SortConfig};
@@ -44,6 +53,7 @@ struct Opts {
     seed: u64,
     scale: u32,
     edge_factor: usize,
+    trace: bool,
 }
 
 impl Default for Opts {
@@ -55,6 +65,7 @@ impl Default for Opts {
             seed: pgxd_bench::DEFAULT_SEED,
             scale: 17,
             edge_factor: 8,
+            trace: false,
         }
     }
 }
@@ -70,6 +81,8 @@ fn parse_opts_from(mut opts: Opts, args: &[String]) -> Opts {
         if let Some(rest) = arg.strip_prefix("--") {
             if let Some((k, v)) = rest.split_once('=') {
                 flags.insert(k.to_string(), v.to_string());
+            } else if rest == "trace" {
+                opts.trace = true;
             } else {
                 eprintln!("ignoring flag without value: {arg} (use --key=value)");
             }
@@ -206,11 +219,18 @@ fn fig6(opts: &Opts) {
 fn fig7(opts: &Opts) {
     let p = *opts.procs.first().unwrap_or(&8);
     println!("\n=== Fig. 7: per-step time (p = {p}, n = {}) ===\n", opts.n);
-    let rn = run_pgxd_sort(
+    let trace_cfg = if opts.trace {
+        TraceConfig::enabled()
+    } else {
+        TraceConfig::disabled()
+    };
+    let (rn, trace_log) = run_pgxd_sort_traced(
         &dist_workload(Distribution::Normal, opts),
         p,
         opts.workers,
         SortConfig::default(),
+        pgxd::DEFAULT_BUFFER_BYTES,
+        trace_cfg,
     );
     let rs = run_pgxd_sort(
         &dist_workload(Distribution::RightSkewed, opts),
@@ -218,15 +238,32 @@ fn fig7(opts: &Opts) {
         opts.workers,
         SortConfig::default(),
     );
-    let mut table = Table::new(vec!["step", "normal", "right-skewed"]);
+    // Max is the critical-path column (a step is as slow as its slowest
+    // machine); p50/p95 show how far the stragglers sit above the pack.
+    let mut table = Table::new(vec![
+        "step",
+        "normal max",
+        "normal p50",
+        "normal p95",
+        "right-skewed max",
+        "right-skewed p50",
+        "right-skewed p95",
+    ]);
     for (i, step) in pgxd_core::steps::ALL.iter().enumerate() {
         table.row(vec![
             step.to_string(),
             fmt_secs(rn.step_secs[i].1),
+            fmt_secs(rn.step_secs_p50[i].1),
+            fmt_secs(rn.step_secs_p95[i].1),
             fmt_secs(rs.step_secs[i].1),
+            fmt_secs(rs.step_secs_p50[i].1),
+            fmt_secs(rs.step_secs_p95[i].1),
         ]);
     }
     table.print();
+    if let Some(log) = trace_log {
+        save_trace("fig7", &log);
+    }
     let total_n: f64 = rn.step_secs.iter().map(|s| s.1).sum();
     let total_s: f64 = rs.step_secs.iter().map(|s| s.1).sum();
     println!(
@@ -452,6 +489,8 @@ fn fig11(opts: &Opts) {
                 ("temporary_bytes".into(), stats.temporary() as f64),
                 ("peak_bytes".into(), stats.peak_above_start() as f64),
             ],
+            step_secs_p50: vec![],
+            step_secs_p95: vec![],
             comm_bytes: report.comm.bytes_sent,
             comm_messages: report.comm.messages_sent,
             modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
@@ -668,6 +707,122 @@ fn save_exchange_json(legacy: &ExchangeBenchResult, pooled: &ExchangeBenchResult
 }
 
 // ---------------------------------------------------------------------------
+// Trace: one sort with the structured event layer on, exported for
+// Perfetto plus the derived views (step Gantt, overlap, barrier skew).
+// ---------------------------------------------------------------------------
+
+/// Default knobs for `exp trace`: the acceptance workload of 2^20 uniform
+/// keys on a 4-machine cluster.
+fn trace_defaults() -> Opts {
+    Opts {
+        n: 1 << 20,
+        procs: vec![4],
+        ..Opts::default()
+    }
+}
+
+/// Writes `log` as `results/trace_<tag>.json` (Chrome `trace_event`) and
+/// `results/trace_<tag>.jsonl` (one event per line).
+fn save_trace(tag: &str, log: &pgxd::TraceLog) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    for (ext, body) in [("json", log.to_chrome_json()), ("jsonl", log.to_jsonl())] {
+        let path = dir.join(format!("trace_{tag}.{ext}"));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(trace → {})", path.display());
+        }
+    }
+}
+
+fn trace_cmd(opts: &Opts) {
+    let p = *opts.procs.first().unwrap_or(&4);
+    println!(
+        "\n=== Trace: one sorted run under the structured event layer ===\n\
+         (n = {} uniform keys, p = {p}, {} workers/machine)\n",
+        opts.n, opts.workers
+    );
+    let (result, log) = run_pgxd_sort_traced(
+        &dist_workload(Distribution::Uniform, opts),
+        p,
+        opts.workers,
+        SortConfig::default(),
+        pgxd::DEFAULT_BUFFER_BYTES,
+        TraceConfig::enabled(),
+    );
+    assert!(result.ranges_ascending(), "sort output out of order");
+    let log = log.expect("tracing was enabled");
+    println!(
+        "captured {} events ({} emitted, {} dropped to ring overflow)",
+        log.events.len(),
+        log.emitted,
+        log.dropped
+    );
+
+    // Step Gantt: every machine must have a span for each §IV step.
+    let gantt = log.step_gantt();
+    let mut table = Table::new(vec!["machine", "step", "start", "duration"]);
+    for step in pgxd_core::steps::ALL {
+        for m in 0..p as u32 {
+            let row = gantt
+                .iter()
+                .find(|r| r.machine == m && r.name == step)
+                .unwrap_or_else(|| panic!("machine {m} recorded no span for step {step}"));
+            table.row(vec![
+                format!("M{m}"),
+                step.to_string(),
+                fmt_secs(row.start_ns as f64 / 1e9),
+                fmt_secs(row.dur_ns as f64 / 1e9),
+            ]);
+        }
+    }
+    table.print();
+
+    // Exchange overlap: sending (worker task lanes) vs receiving
+    // (mainline recv loop) — the §IV-C overlap claim, per machine.
+    let ratios = log.exchange_overlap_ratios();
+    let overlaps: Vec<String> = ratios
+        .iter()
+        .enumerate()
+        .map(|(m, r)| format!("M{m} {:.1}%", 100.0 * r))
+        .collect();
+    println!("\nexchange send/receive overlap: {}", overlaps.join(", "));
+    assert!(
+        ratios.iter().any(|&r| r > 0.0),
+        "no machine overlapped sends with receives"
+    );
+
+    // Barrier skew: spread between first and last arrival, per barrier.
+    let skews = log.barrier_skews();
+    let worst = skews.iter().map(|&(_, s)| s).max().unwrap_or(0);
+    println!(
+        "barrier wait skew: {} barriers, worst spread {}",
+        skews.len(),
+        fmt_secs(worst as f64 / 1e9)
+    );
+
+    // Per-destination byte timelines: final cumulative volume per link.
+    let timelines = log.per_destination_byte_timelines();
+    let mut links = Table::new(vec!["link", "chunks", "bytes"]);
+    for ((src, dst), series) in &timelines {
+        links.row(vec![
+            format!("M{src}→M{dst}"),
+            series.len().to_string(),
+            series.last().map(|&(_, b)| b).unwrap_or(0).to_string(),
+        ]);
+    }
+    println!();
+    links.print();
+    assert!(!timelines.is_empty(), "exchange sent no chunks");
+
+    save_trace("sort", &log);
+    save_json("trace", &[result]);
+}
+
+// ---------------------------------------------------------------------------
 // Environment report (our analogue of the paper's Table I).
 // ---------------------------------------------------------------------------
 fn env_report(opts: &Opts) {
@@ -727,6 +882,8 @@ fn main() {
         "buffer" => buffer_sweep(&opts),
         // Own defaults (2^22 keys, p=4): re-parse the flags on top of them.
         "exchange" => exchange(&parse_opts_from(exchange_defaults(), &args[1.min(args.len())..])),
+        // Own defaults (2^20 keys, p=4), same flag re-parse.
+        "trace" => trace_cmd(&parse_opts_from(trace_defaults(), &args[1.min(args.len())..])),
         "env" => env_report(&opts),
         "all" => {
             env_report(&opts);
@@ -742,11 +899,12 @@ fn main() {
             ablation(&opts);
             buffer_sweep(&opts);
             exchange(&exchange_defaults());
+            trace_cmd(&trace_defaults());
         }
         _ => {
             eprintln!(
-                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|exchange|all> \
-                 [--n=N] [--procs=8,16,32,52] [--workers=W] [--seed=S] [--scale=S] [--ef=E]"
+                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|exchange|trace|all> \
+                 [--n=N] [--procs=8,16,32,52] [--workers=W] [--seed=S] [--scale=S] [--ef=E] [--trace]"
             );
             std::process::exit(2);
         }

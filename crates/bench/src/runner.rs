@@ -2,6 +2,7 @@
 //! cluster, collect timing/communication/load results.
 
 use pgxd::cluster::{Cluster, ClusterConfig};
+use pgxd::trace::{TraceConfig, TraceLog};
 use pgxd_baselines::SparkEngine;
 use pgxd_core::{DistSorter, SortConfig};
 use pgxd_datagen::{generate_partitioned, partition_even, twitter_like_keys, Distribution};
@@ -79,6 +80,13 @@ pub struct ExpResult {
     pub wall_secs: f64,
     /// Per-step wall time (max across machines), seconds, in step order.
     pub step_secs: Vec<(String, f64)>,
+    /// Per-step median across machines, seconds, in step order. Empty in
+    /// results recorded before percentile aggregation existed.
+    #[serde(default)]
+    pub step_secs_p50: Vec<(String, f64)>,
+    /// Per-step 95th percentile across machines, seconds, in step order.
+    #[serde(default)]
+    pub step_secs_p95: Vec<(String, f64)>,
     /// Bytes the fabric carried.
     pub comm_bytes: u64,
     /// Packets the fabric carried.
@@ -155,6 +163,22 @@ fn durations_to_secs(steps: &pgxd::StepReport, names: &[&'static str]) -> Vec<(S
         .collect()
 }
 
+fn percentile_to_secs(
+    steps: &pgxd::StepReport,
+    names: &[&'static str],
+    pct: f64,
+) -> Vec<(String, f64)> {
+    names
+        .iter()
+        .map(|&n| {
+            (
+                n.to_string(),
+                steps.percentile_across_machines(n, pct).as_secs_f64(),
+            )
+        })
+        .collect()
+}
+
 /// Runs the PGX.D distributed sort on `workload` and collects results.
 pub fn run_pgxd_sort(
     workload: &Workload,
@@ -174,12 +198,35 @@ pub fn run_pgxd_sort_buf(
     config: SortConfig,
     buffer_bytes: usize,
 ) -> ExpResult {
+    run_pgxd_sort_traced(
+        workload,
+        machines,
+        workers,
+        config,
+        buffer_bytes,
+        TraceConfig::disabled(),
+    )
+    .0
+}
+
+/// [`run_pgxd_sort_buf`] with structured tracing: when `trace` is enabled
+/// the returned [`TraceLog`] carries the run's per-machine timeline
+/// (`exp trace` and the `--trace` flag feed it to the exporters).
+pub fn run_pgxd_sort_traced(
+    workload: &Workload,
+    machines: usize,
+    workers: usize,
+    config: SortConfig,
+    buffer_bytes: usize,
+    trace: TraceConfig,
+) -> (ExpResult, Option<TraceLog>) {
     let parts = workload.generate(machines);
     let total_keys = parts.iter().map(|p| p.len()).sum();
     let cluster = Cluster::new(
         ClusterConfig::new(machines)
             .workers_per_machine(workers)
-            .buffer_bytes(buffer_bytes),
+            .buffer_bytes(buffer_bytes)
+            .trace(trace),
     );
     let sorter = DistSorter::new(config);
     let report = cluster.run(|ctx| {
@@ -187,7 +234,7 @@ pub fn run_pgxd_sort_buf(
         let part = sorter.sort(ctx, local);
         (part.len(), part.range().map(|(a, b)| (*a, *b)))
     });
-    ExpResult {
+    let result = ExpResult {
         system: "pgxd".into(),
         workload: workload.label(),
         sample_factor: config.sample_factor,
@@ -196,6 +243,8 @@ pub fn run_pgxd_sort_buf(
         total_keys,
         wall_secs: report.wall_time.as_secs_f64(),
         step_secs: durations_to_secs(&report.steps, &pgxd_core::steps::ALL),
+        step_secs_p50: percentile_to_secs(&report.steps, &pgxd_core::steps::ALL, 50.0),
+        step_secs_p95: percentile_to_secs(&report.steps, &pgxd_core::steps::ALL, 95.0),
         comm_bytes: report.comm.bytes_sent,
         comm_messages: report.comm.messages_sent,
         modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
@@ -208,7 +257,8 @@ pub fn run_pgxd_sort_buf(
         exchange_bytes_placed: report.comm.exchange.bytes_placed,
         sizes: report.results.iter().map(|r| r.0).collect(),
         ranges: report.results.iter().map(|r| r.1).collect(),
-    }
+    };
+    (result, report.trace)
 }
 
 /// Runs the Spark-sim `sortByKey` on `workload` and collects results.
@@ -235,6 +285,8 @@ pub fn run_spark_sort(workload: &Workload, machines: usize, workers: usize) -> E
         total_keys,
         wall_secs: report.wall_time.as_secs_f64(),
         step_secs: durations_to_secs(&report.steps, &pgxd_baselines::spark::stages::ALL),
+        step_secs_p50: percentile_to_secs(&report.steps, &pgxd_baselines::spark::stages::ALL, 50.0),
+        step_secs_p95: percentile_to_secs(&report.steps, &pgxd_baselines::spark::stages::ALL, 95.0),
         comm_bytes: report.comm.bytes_sent,
         comm_messages: report.comm.messages_sent,
         modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
@@ -430,6 +482,8 @@ mod tests {
             total_keys: 0,
             wall_secs: 10.0,
             step_secs: vec![],
+            step_secs_p50: vec![],
+            step_secs_p95: vec![],
             comm_bytes: 0,
             comm_messages: 0,
             modeled_comm_secs: 0.1,
@@ -472,6 +526,65 @@ mod tests {
         assert!(r.exchange_bytes_placed > 0);
         let rate = r.exchange_pool_hit_rate();
         assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn percentile_steps_are_ordered_and_aligned() {
+        let workload = Workload::Dist {
+            dist: Distribution::Uniform,
+            n: 10_000,
+            seed: 5,
+        };
+        let r = run_pgxd_sort(&workload, 4, 1, SortConfig::default());
+        assert_eq!(r.step_secs_p50.len(), r.step_secs.len());
+        assert_eq!(r.step_secs_p95.len(), r.step_secs.len());
+        for ((name, max), ((n50, p50), (n95, p95))) in r
+            .step_secs
+            .iter()
+            .zip(r.step_secs_p50.iter().zip(&r.step_secs_p95))
+        {
+            assert_eq!(name, n50);
+            assert_eq!(name, n95);
+            assert!(p50 <= p95 && p95 <= max, "{name}: {p50} ≤ {p95} ≤ {max}");
+        }
+    }
+
+    #[test]
+    fn traced_run_captures_all_steps_on_every_machine() {
+        let workload = Workload::Dist {
+            dist: Distribution::Uniform,
+            n: 20_000,
+            seed: 6,
+        };
+        let (r, log) = run_pgxd_sort_traced(
+            &workload,
+            3,
+            2,
+            SortConfig::default(),
+            pgxd::DEFAULT_BUFFER_BYTES,
+            TraceConfig::enabled(),
+        );
+        assert!(r.ranges_ascending());
+        let log = log.expect("enabled tracing must return a log");
+        let gantt = log.step_gantt();
+        for m in 0..3u32 {
+            for step in pgxd_core::steps::ALL {
+                assert!(
+                    gantt.iter().any(|row| row.machine == m && row.name == step),
+                    "machine {m} missing step span {step}"
+                );
+            }
+        }
+        // The untraced variant of the same run returns no log.
+        let untraced = run_pgxd_sort_traced(
+            &workload,
+            3,
+            2,
+            SortConfig::default(),
+            pgxd::DEFAULT_BUFFER_BYTES,
+            TraceConfig::disabled(),
+        );
+        assert!(untraced.1.is_none());
     }
 
     #[test]

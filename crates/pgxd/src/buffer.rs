@@ -9,6 +9,7 @@
 
 use crate::comm::{CommSender, Tag};
 use crate::pool::ChunkPool;
+use crate::trace::EventKind;
 use std::sync::Arc;
 
 /// A chunk of exchange data addressed to a receiver-side element offset,
@@ -116,6 +117,7 @@ impl<T: Send + Copy + 'static> RequestBuffer<T> {
         let offset = self.next_offset;
         self.next_offset += data.len();
         self.flushed_chunks += 1;
+        self.note_flush(sender, data.len());
         sender.send_offset_chunk(self.dst, self.tag, offset, data);
     }
 
@@ -138,7 +140,22 @@ impl<T: Send + Copy + 'static> RequestBuffer<T> {
         let offset = self.next_offset;
         self.next_offset += data.len();
         self.flushed_chunks += 1;
+        self.note_flush(sender, data.len());
         sender.send_offset_chunk(self.dst, self.tag, offset, data);
+    }
+
+    /// Marks a buffer flush in the run's trace (distinct from the
+    /// [`ChunkSend`](EventKind::ChunkSend) the sender emits: a flush is
+    /// the data-manager capacity edge, a send is the fabric edge).
+    fn note_flush(&self, sender: &CommSender, elems: usize) {
+        if let Some(t) = sender.trace() {
+            t.instant(
+                1 + self.dst as u32,
+                EventKind::ChunkFlush,
+                self.dst as u64,
+                (elems * std::mem::size_of::<T>()) as u64,
+            );
+        }
     }
 
     /// Number of chunks flushed so far.

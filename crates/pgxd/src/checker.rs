@@ -30,7 +30,11 @@
 
 use crate::comm::Tag;
 use crate::sync::Mutex;
+use crate::trace::{violation, EventKind, MachineTrace, LANE_MAIN};
 use std::collections::HashMap;
+// std Arc for the same reason as the pool's checker handle: plain shared
+// ownership of non-loom-modeled state, handed around as std::sync::Arc.
+use std::sync::Arc;
 
 /// Whether the checker hooks are compiled in. `const`, so the hot-path
 /// call sites fold to nothing in release builds without the `checker`
@@ -68,6 +72,11 @@ struct Ledger {
 pub struct ProtocolChecker {
     machines: usize,
     ledger: Mutex<Ledger>,
+    /// Per-machine trace sinks for traced runs: every verdict below is
+    /// emitted as an [`EventKind::Checker`] instant *before* the panic,
+    /// so the violation is visible in the exported timeline at the moment
+    /// the fabric proved it.
+    traces: Mutex<HashMap<usize, Arc<MachineTrace>>>,
 }
 
 impl ProtocolChecker {
@@ -76,12 +85,42 @@ impl ProtocolChecker {
         ProtocolChecker {
             machines,
             ledger: Mutex::new(Ledger::default()),
+            traces: Mutex::new(HashMap::new()),
         }
     }
 
     /// Number of machines on the fabric this checker watches.
     pub fn machines(&self) -> usize {
         self.machines
+    }
+
+    /// Registers `machine`'s trace sink so this checker's verdicts land in
+    /// the run's timeline ([`MachineCtx::new`](crate::machine::MachineCtx)
+    /// calls this on traced runs).
+    pub fn attach_trace(&self, machine: usize, trace: Arc<MachineTrace>) {
+        self.traces.lock().insert(machine, trace);
+    }
+
+    /// Emits a [`violation`] code as a checker instant on `machine`'s
+    /// timeline (every registered timeline when the verdict is
+    /// fabric-wide). Rings are drained on unwind by
+    /// [`TraceCollector::collect`](crate::trace::TraceCollector::collect)
+    /// via caught panics in tests, so the event survives the panic that
+    /// follows it.
+    fn trace_violation(&self, machine: Option<usize>, code: u64) {
+        let traces = self.traces.lock();
+        match machine {
+            Some(m) => {
+                if let Some(t) = traces.get(&m) {
+                    t.instant(LANE_MAIN, EventKind::Checker, code, 0);
+                }
+            }
+            None => {
+                for t in traces.values() {
+                    t.instant(LANE_MAIN, EventKind::Checker, code, 0);
+                }
+            }
+        }
     }
 
     /// Records a packet entering the fabric.
@@ -109,10 +148,14 @@ impl ProtocolChecker {
                 ledger.in_flight.remove(&(src, dst, tag));
             }
             Some(_) => {}
-            None => panic!(
-                "protocol checker: machine {dst} received a packet from machine {src} \
-                 with tag {tag:?} that was never sent (tag mismatch or duplicate delivery)"
-            ),
+            None => {
+                drop(ledger);
+                self.trace_violation(Some(dst), violation::PHANTOM_DELIVERY);
+                panic!(
+                    "protocol checker: machine {dst} received a packet from machine {src} \
+                     with tag {tag:?} that was never sent (tag mismatch or duplicate delivery)"
+                );
+            }
         }
     }
 
@@ -128,6 +171,8 @@ impl ProtocolChecker {
             .live_chunks
             .insert(addr, ChunkInfo { machine, cap_bytes })
         {
+            drop(ledger);
+            self.trace_violation(Some(machine), violation::DOUBLE_ACQUIRE);
             panic!(
                 "protocol checker: machine {machine} acquired chunk {addr:#x} \
                  ({cap_bytes} B) which machine {} already holds live ({} B) — \
@@ -150,10 +195,12 @@ impl ProtocolChecker {
         }
         let mut ledger = self.ledger.lock();
         if let Some(prev) = ledger.parked_chunks.get(&addr) {
+            let prev_machine = prev.machine;
+            drop(ledger);
+            self.trace_violation(Some(machine), violation::DOUBLE_RELEASE);
             panic!(
                 "protocol checker: machine {machine} double-released chunk {addr:#x} \
-                 ({cap_bytes} B) — already parked in machine {}'s pool",
-                prev.machine
+                 ({cap_bytes} B) — already parked in machine {prev_machine}'s pool"
             );
         }
         ledger.live_chunks.remove(&addr);
@@ -202,6 +249,8 @@ impl ProtocolChecker {
                 .iter()
                 .map(|(src, dst, tag, n)| format!("{n}× {src}→{dst} tag {tag:?}"))
                 .collect();
+            drop(ledger);
+            self.trace_violation(machine, violation::UNDELIVERED_PACKETS);
             panic!(
                 "protocol checker: undelivered packet(s) at {context} ({who}): [{}]",
                 listing.join(", ")
@@ -218,6 +267,8 @@ impl ProtocolChecker {
                 .iter()
                 .map(|(m, addr, b)| format!("machine {m} chunk {addr:#x} ({b} B)"))
                 .collect();
+            drop(ledger);
+            self.trace_violation(machine, violation::LEAKED_CHUNKS);
             panic!(
                 "protocol checker: leaked chunk(s) at {context} ({who}): [{}] — \
                  acquired from a pool but never released",
@@ -237,6 +288,7 @@ impl ProtocolChecker {
             total,
             spans: Vec::new(),
             enabled: ENABLED,
+            trace: self.traces.lock().get(&machine).cloned(),
         }
     }
 }
@@ -254,6 +306,9 @@ pub struct OffsetLedger {
     total: usize,
     spans: Vec<(usize, usize)>,
     enabled: bool,
+    /// The owning machine's trace sink: tiling verdicts are emitted as
+    /// checker instants before the panic.
+    trace: Option<Arc<MachineTrace>>,
 }
 
 impl OffsetLedger {
@@ -266,6 +321,14 @@ impl OffsetLedger {
             total,
             spans: Vec::new(),
             enabled: ENABLED,
+            trace: None,
+        }
+    }
+
+    /// Emits `code` on the owning machine's timeline, if traced.
+    fn trace_violation(&self, code: u64) {
+        if let Some(t) = &self.trace {
+            t.instant(LANE_MAIN, EventKind::Checker, code, 0);
         }
     }
 
@@ -288,6 +351,7 @@ impl OffsetLedger {
         let mut expected = 0usize;
         for &(offset, len) in &self.spans {
             if offset < expected {
+                self.trace_violation(violation::OFFSET_OVERLAP);
                 panic!(
                     "protocol checker: overlapping offset range on machine {} tag {:?}: \
                      span [{offset}, {}) overlaps previously written [.., {expected})",
@@ -297,6 +361,7 @@ impl OffsetLedger {
                 );
             }
             if offset > expected {
+                self.trace_violation(violation::OFFSET_GAP);
                 panic!(
                     "protocol checker: gap in offset ranges on machine {} tag {:?}: \
                      [{expected}, {offset}) never written",
@@ -306,6 +371,7 @@ impl OffsetLedger {
             expected = offset + len;
         }
         if expected != self.total {
+            self.trace_violation(violation::OFFSET_GAP);
             panic!(
                 "protocol checker: gap in offset ranges on machine {} tag {:?}: \
                  [{expected}, {}) never written",

@@ -7,6 +7,7 @@ use crate::metrics::{CommStats, CommSummary, StepReport};
 use crate::net::NetworkModel;
 use crate::sync::Mutex;
 use crate::task::TaskManager;
+use crate::trace::{TraceCollector, TraceConfig, TraceLog};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -22,6 +23,9 @@ pub struct ClusterConfig {
     pub buffer_bytes: usize,
     /// Network cost model for modeled wire time.
     pub net: NetworkModel,
+    /// Structured-tracing configuration (off by default; see
+    /// [`crate::trace`]).
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -35,6 +39,7 @@ impl ClusterConfig {
             workers_per_machine: 2,
             buffer_bytes: crate::DEFAULT_BUFFER_BYTES,
             net: NetworkModel::default(),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -55,6 +60,12 @@ impl ClusterConfig {
         self.net = net;
         self
     }
+
+    /// Sets the tracing configuration.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// Results of one cluster run.
@@ -68,6 +79,8 @@ pub struct RunReport<R> {
     pub steps: StepReport,
     /// Wall time from first machine start to last machine finish.
     pub wall_time: Duration,
+    /// The merged event trace, when the run's [`TraceConfig`] enabled it.
+    pub trace: Option<TraceLog>,
 }
 
 /// A simulated cluster: spawns one OS thread per machine and runs SPMD
@@ -135,6 +148,11 @@ impl Cluster {
         let barrier = Arc::new(Barrier::new(p));
         let comms = CommManager::fabric(p, stats.clone());
         let fabric_checker = comms[0].checker().clone();
+        // Lane 0 is the machine's mainline thread; 1.. its worker/send
+        // lanes. The collector is the shared epoch for all machines.
+        let collector = self.config.trace.enabled.then(|| {
+            TraceCollector::new(p, self.config.workers_per_machine + 1, self.config.trace)
+        });
         let start = Instant::now();
 
         let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
@@ -148,6 +166,7 @@ impl Cluster {
                     let stats = stats.clone();
                     let workers = self.config.workers_per_machine;
                     let buffer_bytes = self.config.buffer_bytes;
+                    let trace = collector.as_ref().map(|c| c.machine(comm.id()));
                     handles.push(scope.spawn(move || {
                         let mut ctx = MachineCtx::new(
                             comm,
@@ -155,6 +174,7 @@ impl Cluster {
                             barrier,
                             buffer_bytes,
                             stats,
+                            trace,
                         );
                         let r = f(&mut ctx);
                         let timer = ctx.take_timer();
@@ -197,6 +217,7 @@ impl Cluster {
                 per_machine: timers,
             },
             wall_time: start.elapsed(),
+            trace: collector.map(|c| c.collect()),
         }
     }
 }
@@ -401,6 +422,65 @@ mod tests {
             assert_eq!(first.concat(), vec![0, 1, 2]);
             assert_eq!(second.concat(), vec![100, 101, 102]);
         }
+    }
+
+    #[test]
+    fn disabled_tracing_yields_no_log() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let report = cluster.run(|ctx| {
+            ctx.step("noop", |_| {});
+            ctx.barrier();
+        });
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn enabled_tracing_captures_steps_barriers_and_exchange() {
+        let cluster =
+            Cluster::new(ClusterConfig::new(3).trace(TraceConfig::enabled().ring_capacity(4096)));
+        let report = cluster.run(|ctx| {
+            ctx.step("scatter", |ctx| {
+                let id = ctx.id() as u64;
+                let data: Vec<u64> = (0..300).map(|i| id * 1000 + i).collect();
+                let offsets = vec![0, 100, 200, 300];
+                ctx.exchange_by_offsets(&data, &offsets)
+            });
+            ctx.barrier();
+        });
+        let log = report.trace.expect("tracing was enabled");
+        assert_eq!(log.machines, 3);
+        assert_eq!(log.dropped, 0, "4096-slot rings must not overflow here");
+        use crate::trace::EventKind;
+        for m in 0..3u32 {
+            assert!(
+                log.events_of_kind(EventKind::Step).any(|e| e.machine == m),
+                "machine {m} has a step span"
+            );
+            assert!(
+                log.events_of_kind(EventKind::Barrier).any(|e| e.machine == m),
+                "machine {m} has a barrier span"
+            );
+            assert!(
+                log.events_of_kind(EventKind::ChunkSend).any(|e| e.machine == m),
+                "machine {m} sent chunks"
+            );
+            assert!(
+                log.events_of_kind(EventKind::ChunkRecv).any(|e| e.machine == m),
+                "machine {m} received chunks"
+            );
+            assert!(
+                log.events_of_kind(EventKind::ChunkPlace).any(|e| e.machine == m),
+                "machine {m} placed chunks"
+            );
+        }
+        assert_eq!(log.step_gantt().len(), 3);
+        assert!(log.step_gantt().iter().all(|r| r.name == "scatter"));
+        // Every machine crossed the same barriers; skew is well-defined.
+        assert!(!log.barrier_skews().is_empty());
+        assert!(!log.per_destination_byte_timelines().is_empty());
+        // The exported JSON is non-trivial.
+        let json = log.to_chrome_json();
+        assert!(json.contains("\"name\":\"scatter\""));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::checker::ProtocolChecker;
 use crate::metrics::SharedCommStats;
+use crate::trace::{EventKind, MachineTrace};
 use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
 use std::collections::HashMap;
@@ -85,6 +86,9 @@ pub struct CommSender {
     /// Fabric-wide protocol-checker ledger (hooks are no-ops in release
     /// builds without the `checker` feature).
     checker: Arc<ProtocolChecker>,
+    /// This machine's trace sink; `None` (one branch per send) when the
+    /// run is untraced.
+    trace: Option<Arc<MachineTrace>>,
 }
 
 impl CommSender {
@@ -137,6 +141,11 @@ impl CommSender {
     ) {
         let wire_bytes = std::mem::size_of::<T>() * data.len() + std::mem::size_of::<usize>();
         self.stats.exchange.record_chunk_sent();
+        if let Some(t) = &self.trace {
+            // Lane 1 + dst keeps each destination's send stream on its own
+            // timeline row (and off the mainline lane).
+            t.instant(1 + dst as u32, EventKind::ChunkSend, dst as u64, wire_bytes as u64);
+        }
         self.send_packet(dst, tag, wire_bytes, Box::new((offset, data)));
     }
 
@@ -145,6 +154,12 @@ impl CommSender {
     /// data per receiver; each send is still charged full wire bytes, so
     /// the network accounting is identical to an owned [`send_vec`].
     ///
+    /// This machine's trace sink, if the run is traced (used by
+    /// [`RequestBuffer`](crate::buffer::RequestBuffer) to mark flushes).
+    pub(crate) fn trace(&self) -> Option<&Arc<MachineTrace>> {
+        self.trace.as_ref()
+    }
+
     /// [`send_vec`]: CommSender::send_vec
     pub fn send_shared_vec<T: Send + Sync + 'static>(
         &self,
@@ -201,6 +216,7 @@ impl CommManager {
                     links: txs.clone(),
                     stats: stats.clone(),
                     checker: checker.clone(),
+                    trace: None,
                 },
                 inbox,
                 mailbox: HashMap::new(),
@@ -211,6 +227,13 @@ impl CommManager {
     /// The fabric-wide protocol checker shared by every machine's manager.
     pub fn checker(&self) -> &Arc<ProtocolChecker> {
         &self.sender.checker
+    }
+
+    /// Attaches this machine's trace sink. Must run before
+    /// [`CommManager::sender`] hands out clones (sender clones snapshot
+    /// the sink); [`MachineCtx::new`](crate::machine::MachineCtx) does so.
+    pub(crate) fn set_trace(&mut self, trace: Arc<MachineTrace>) {
+        self.sender.trace = Some(trace);
     }
 
     /// Records a packet being handed to its consumer (checker bookkeeping;

@@ -39,6 +39,12 @@
 //!   of sends, receives, and pool chunk custody; barriers and fabric
 //!   teardown turn undelivered packets, leaked/double-released chunks, and
 //!   overlapping §IV-C write-offset ranges into deterministic panics.
+//! - [`trace`] — an opt-in structured event layer: lock-free per-machine
+//!   ring buffers of timestamped spans/instants at every runtime edge
+//!   (steps, barriers, tasks, chunk traffic, pool hits, checker verdicts),
+//!   merged on a unified clock and exported as Chrome `trace_event` JSON
+//!   (Perfetto / `chrome://tracing`) plus derived views. Off by default;
+//!   disabled runs pay ~one branch per event site.
 //! - `cargo xtask lint` — a workspace lint walks the source and confines
 //!   `unsafe` to an allowlist (`pgxd::machine`, `pgxd::pool`, `memtrack`),
 //!   requires `// SAFETY:` on every unsafe block, and bans raw
@@ -71,12 +77,14 @@ pub mod partition;
 pub mod pool;
 pub mod sync;
 pub mod task;
+pub mod trace;
 
 pub use cluster::{Cluster, ClusterConfig, RunReport};
 pub use machine::MachineCtx;
 pub use metrics::{CommSummary, ExchangeSummary, StepReport};
 pub use pool::ChunkPool;
 pub use net::NetworkModel;
+pub use trace::{TraceConfig, TraceLog};
 
 /// The read/request buffer size PGX.D uses (§IV-B): 256 KiB.
 pub const DEFAULT_BUFFER_BYTES: usize = 256 * 1024;

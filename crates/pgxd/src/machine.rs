@@ -11,7 +11,8 @@ use crate::checker;
 use crate::comm::{kinds, CommManager, Tag};
 use crate::metrics::{CommSummary, SharedCommStats, StepTimer};
 use crate::pool::ChunkPool;
-use crate::task::TaskManager;
+use crate::task::{self, TaskManager};
+use crate::trace::{EventKind, MachineTrace, LANE_MAIN};
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::{Arc, Barrier};
 
@@ -31,22 +32,30 @@ pub struct MachineCtx {
     /// Recycled chunk backing stores for the exchange pipeline, shared
     /// between this machine's receive thread and its send workers.
     pool: Arc<ChunkPool>,
+    /// This machine's trace sink; `None` (one branch per event site) when
+    /// the run is untraced.
+    trace: Option<Arc<MachineTrace>>,
     collective_seq: u64,
 }
 
 impl MachineCtx {
     pub(crate) fn new(
-        comm: CommManager,
+        mut comm: CommManager,
         task: TaskManager,
         barrier: Arc<Barrier>,
         buffer_bytes: usize,
         stats: SharedCommStats,
+        trace: Option<Arc<MachineTrace>>,
     ) -> Self {
-        let pool = Arc::new(ChunkPool::with_checker(
-            stats.clone(),
-            comm.checker().clone(),
-            comm.id(),
-        ));
+        let mut pool = ChunkPool::with_checker(stats.clone(), comm.checker().clone(), comm.id());
+        if let Some(t) = &trace {
+            // Attach the sink before the pool is shared and before any
+            // sender clones are handed out, so every copy carries it.
+            pool.set_trace(t.clone());
+            comm.set_trace(t.clone());
+            comm.checker().attach_trace(comm.id(), t.clone());
+        }
+        let pool = Arc::new(pool);
         MachineCtx {
             id: comm.id(),
             p: comm.num_machines(),
@@ -57,6 +66,7 @@ impl MachineCtx {
             buffer_bytes,
             pool,
             stats,
+            trace,
             collective_seq: 0,
         }
     }
@@ -102,11 +112,20 @@ impl MachineCtx {
         &mut self.comm
     }
 
-    /// Times `f` under `name` in this machine's step timer.
+    /// Times `f` under `name` in this machine's step timer. Traced runs
+    /// also get a [`EventKind::Step`] span on the mainline lane, so the
+    /// six §IV steps appear as Gantt rows without the algorithm layer
+    /// knowing about tracing.
     pub fn step<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let pre = self.trace.as_ref().map(|t| (t.intern(name), t.now_ns()));
         let start = std::time::Instant::now();
         let out = f(self);
         self.timer.record(name, start.elapsed());
+        if let Some((name_id, t0)) = pre {
+            if let Some(t) = &self.trace {
+                t.span_since(LANE_MAIN, EventKind::Step, t0, name_id, 0);
+            }
+        }
         out
     }
 
@@ -142,10 +161,22 @@ impl MachineCtx {
     /// so all machines agree (a failure panics everywhere at once instead
     /// of deadlocking the survivors).
     pub fn barrier(&self) {
+        // The span covers enter → leave; `a` is the per-machine barrier
+        // index, which SPMD ordering makes comparable across machines
+        // (barrier wait skew in the trace's derived views).
+        let pre = self
+            .trace
+            .as_ref()
+            .map(|t| (t.now_ns(), t.next_barrier_index()));
         self.barrier.wait();
         if checker::ENABLED {
             self.comm.checker().check_quiescent("barrier", Some(self.id));
             self.barrier.wait();
+        }
+        if let Some((t0, index)) = pre {
+            if let Some(t) = &self.trace {
+                t.span_since(LANE_MAIN, EventKind::Barrier, t0, index, 0);
+            }
         }
     }
 
@@ -344,6 +375,14 @@ impl MachineCtx {
                 .exchange
                 .record_bytes_placed(std::mem::size_of_val(self_slice));
             ledger.record(base, self_slice.len());
+            if let Some(t) = &self.trace {
+                t.instant(
+                    LANE_MAIN,
+                    EventKind::ChunkPlace,
+                    base as u64,
+                    std::mem::size_of_val(self_slice) as u64,
+                );
+            }
             self_slice.len()
         };
 
@@ -367,12 +406,20 @@ impl MachineCtx {
             let sender = sender.clone();
             let pool = self.pool.clone();
             let base = my_base_at[dst];
-            tasks.push(Box::new(move || {
-                let mut buf: RequestBuffer<T> =
-                    RequestBuffer::with_pool(dst, data_tag, buffer_bytes, base, pool);
-                buf.push_slice(slice, &sender);
-                buf.finish(&sender);
-            }));
+            let lane = 1 + tasks.len() as u32;
+            let index = tasks.len() as u64;
+            tasks.push(task::traced_task(
+                self.trace.clone(),
+                lane,
+                dst as u64,
+                index,
+                Box::new(move || {
+                    let mut buf: RequestBuffer<T> =
+                        RequestBuffer::with_pool(dst, data_tag, buffer_bytes, base, pool);
+                    buf.push_slice(slice, &sender);
+                    buf.finish(&sender);
+                }),
+            ));
         }
 
         // The receive loop: place each arriving chunk with one memcpy and
@@ -382,11 +429,14 @@ impl MachineCtx {
         let comm = &mut self.comm;
         let pool = &self.pool;
         let stats = &self.stats;
+        let trace = self.trace.clone();
         let out_ptr = out.as_mut_ptr();
         let placed = task.run_tasks_overlapping(tasks, move || {
+            let loop_start = trace.as_ref().map(|t| t.now_ns());
             let mut remote_received = 0usize;
             while remote_received < expected_remote {
                 let pkt = comm.recv_packet(data_tag);
+                let src = pkt.src;
                 let (offset, chunk) = pkt.into_value::<(usize, Vec<T>)>();
                 // SAFETY: the sender addressed this chunk inside the run
                 // reserved for it by the count matrix, so
@@ -400,14 +450,26 @@ impl MachineCtx {
                 }
                 ledger.record(offset, chunk.len());
                 remote_received += chunk.len();
-                stats
-                    .exchange
-                    .record_bytes_placed(chunk.len() * std::mem::size_of::<T>());
+                let bytes = chunk.len() * std::mem::size_of::<T>();
+                stats.exchange.record_bytes_placed(bytes);
+                if let Some(t) = &trace {
+                    t.instant(LANE_MAIN, EventKind::ChunkRecv, src as u64, bytes as u64);
+                    t.instant(LANE_MAIN, EventKind::ChunkPlace, offset as u64, bytes as u64);
+                }
                 pool.release_inbound(chunk);
             }
             // Debug builds: prove the self-copy and the arrived chunks
             // tiled [0, total) exactly once (§IV-C disjoint placement).
             ledger.finish();
+            if let (Some(t), Some(t0)) = (&trace, loop_start) {
+                t.span_since(
+                    LANE_MAIN,
+                    EventKind::RecvLoop,
+                    t0,
+                    expected_remote as u64,
+                    0,
+                );
+            }
             remote_received
         });
         assert_eq!(

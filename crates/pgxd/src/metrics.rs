@@ -116,14 +116,16 @@ impl ExchangeSummary {
         }
     }
 
-    /// Difference between two snapshots (later minus earlier).
+    /// Difference between two snapshots (later minus earlier). Saturating:
+    /// a swapped or reset snapshot pair clamps to zero instead of
+    /// underflow-panicking in debug builds.
     pub fn delta_since(&self, earlier: &ExchangeSummary) -> ExchangeSummary {
         ExchangeSummary {
-            chunks_sent: self.chunks_sent - earlier.chunks_sent,
-            chunks_recycled: self.chunks_recycled - earlier.chunks_recycled,
-            pool_hits: self.pool_hits - earlier.pool_hits,
-            pool_misses: self.pool_misses - earlier.pool_misses,
-            bytes_placed: self.bytes_placed - earlier.bytes_placed,
+            chunks_sent: self.chunks_sent.saturating_sub(earlier.chunks_sent),
+            chunks_recycled: self.chunks_recycled.saturating_sub(earlier.chunks_recycled),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            bytes_placed: self.bytes_placed.saturating_sub(earlier.bytes_placed),
         }
     }
 }
@@ -204,12 +206,13 @@ impl CommSummary {
     /// Difference between two snapshots (later minus earlier) for the
     /// monotonic scalar counters. The hotspot fields (`max_recv_bytes`,
     /// `bottleneck_wire_time`) are kept from `self` — a max is not
-    /// delta-able.
+    /// delta-able. Saturating: a swapped or reset snapshot pair clamps to
+    /// zero instead of underflow-panicking in debug builds.
     pub fn delta_since(&self, earlier: &CommSummary) -> CommSummary {
         CommSummary {
-            bytes_sent: self.bytes_sent - earlier.bytes_sent,
-            messages_sent: self.messages_sent - earlier.messages_sent,
-            modeled_wire_time: self.modeled_wire_time - earlier.modeled_wire_time,
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            modeled_wire_time: self.modeled_wire_time.saturating_sub(earlier.modeled_wire_time),
             max_recv_bytes: self.max_recv_bytes,
             bottleneck_wire_time: self.bottleneck_wire_time,
             exchange: self.exchange.delta_since(&earlier.exchange),
@@ -312,6 +315,43 @@ impl StepReport {
             })
             .sum();
         total / self.per_machine.len() as u32
+    }
+
+    /// Nearest-rank percentile of `step`'s duration across machines
+    /// (`pct` in `(0, 100]`). Machines that never recorded the step count
+    /// as zero, matching [`max_across_machines`](Self::max_across_machines)
+    /// and [`mean_across_machines`](Self::mean_across_machines).
+    pub fn percentile_across_machines(&self, step: &str, pct: f64) -> Duration {
+        if self.per_machine.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut durs: Vec<Duration> = self
+            .per_machine
+            .iter()
+            .map(|steps| {
+                steps
+                    .iter()
+                    .find(|(n, _)| *n == step)
+                    .map(|(_, d)| *d)
+                    .unwrap_or_default()
+            })
+            .collect();
+        durs.sort_unstable();
+        let pct = pct.clamp(0.0, 100.0);
+        let rank = ((pct / 100.0 * durs.len() as f64).ceil() as usize).saturating_sub(1);
+        durs[rank.min(durs.len() - 1)]
+    }
+
+    /// Median duration of `step` across machines (nearest-rank p50).
+    pub fn p50_across_machines(&self, step: &str) -> Duration {
+        self.percentile_across_machines(step, 50.0)
+    }
+
+    /// 95th-percentile duration of `step` across machines — with
+    /// [`p50_across_machines`](Self::p50_across_machines), the straggler
+    /// view Fig. 7 prints next to max/mean.
+    pub fn p95_across_machines(&self, step: &str) -> Duration {
+        self.percentile_across_machines(step, 95.0)
     }
 
     /// All step names observed, in first-seen order across machines.
@@ -438,5 +478,68 @@ mod tests {
         assert_eq!(report.max_across_machines("b"), Duration::from_millis(1));
         assert_eq!(report.step_names(), vec!["a", "b"]);
         assert_eq!(report.max_across_machines("zz"), Duration::ZERO);
+    }
+
+    #[test]
+    fn delta_since_saturates_on_swapped_snapshots() {
+        // Passing snapshots in the wrong order (or diffing against a
+        // freshly reset counter set) must clamp to zero, not underflow.
+        let stats = CommStats::default();
+        stats.record_packet(100, 0);
+        stats.exchange.record_chunk_sent();
+        stats.exchange.record_pool_hit();
+        stats.exchange.record_pool_miss();
+        stats.exchange.record_recycled();
+        stats.exchange.record_bytes_placed(64);
+        let before = stats.summary();
+        stats.record_packet(900, 1);
+        stats.exchange.record_chunk_sent();
+
+        // Swapped order: earlier.delta_since(&later).
+        let swapped = before.delta_since(&stats.summary());
+        assert_eq!(swapped.bytes_sent, 0);
+        assert_eq!(swapped.messages_sent, 0);
+        assert_eq!(swapped.modeled_wire_time, Duration::ZERO);
+        assert_eq!(swapped.exchange.chunks_sent, 0);
+
+        // Reset counters: a default (all-zero) snapshot diffed against a
+        // live one.
+        let reset = CommSummary::default().delta_since(&before);
+        assert_eq!(reset.bytes_sent, 0);
+        assert_eq!(reset.exchange.chunks_recycled, 0);
+        assert_eq!(reset.exchange.pool_hits, 0);
+        assert_eq!(reset.exchange.pool_misses, 0);
+        assert_eq!(reset.exchange.bytes_placed, 0);
+
+        let ex_swapped = before.exchange.delta_since(&stats.summary().exchange);
+        assert_eq!(ex_swapped, ExchangeSummary::default());
+    }
+
+    #[test]
+    fn step_report_percentiles() {
+        let ms = Duration::from_millis;
+        let report = StepReport {
+            per_machine: vec![
+                vec![("a", ms(10))],
+                vec![("a", ms(20))],
+                vec![("a", ms(30))],
+                vec![("a", ms(100))],
+            ],
+        };
+        // Nearest-rank over [10, 20, 30, 100].
+        assert_eq!(report.p50_across_machines("a"), ms(20));
+        assert_eq!(report.p95_across_machines("a"), ms(100));
+        assert_eq!(report.percentile_across_machines("a", 25.0), ms(10));
+        assert_eq!(report.percentile_across_machines("a", 100.0), ms(100));
+        // Missing step counts as zero per machine, like max/mean.
+        assert_eq!(report.p50_across_machines("zz"), Duration::ZERO);
+        // Single machine: every percentile is its value.
+        let one = StepReport {
+            per_machine: vec![vec![("a", ms(7))]],
+        };
+        assert_eq!(one.p50_across_machines("a"), ms(7));
+        assert_eq!(one.p95_across_machines("a"), ms(7));
+        // Empty report.
+        assert_eq!(StepReport::default().p95_across_machines("a"), Duration::ZERO);
     }
 }

@@ -28,6 +28,7 @@
 use crate::checker::{self, ProtocolChecker};
 use crate::metrics::SharedCommStats;
 use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::trace::{EventKind, MachineTrace, LANE_MAIN};
 use crate::sync::Mutex;
 use std::any::TypeId;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -110,6 +111,9 @@ pub struct ChunkPool {
     checker: Option<Arc<ProtocolChecker>>,
     /// Machine id for checker diagnostics (`usize::MAX` = standalone pool).
     machine: usize,
+    /// The machine's trace sink (hit/miss instants); `None` when untraced.
+    /// std Arc for the same reason as `checker` above.
+    trace: Option<Arc<MachineTrace>>,
 }
 
 impl Drop for Shard {
@@ -158,6 +162,7 @@ impl ChunkPool {
             known_caps: Mutex::new(HashSet::new()),
             checker: None,
             machine: usize::MAX,
+            trace: None,
         }
     }
 
@@ -175,7 +180,14 @@ impl ChunkPool {
             known_caps: Mutex::new(HashSet::new()),
             checker: Some(checker),
             machine,
+            trace: None,
         }
+    }
+
+    /// Attaches the machine's trace sink (must run before the pool is
+    /// shared; [`MachineCtx::new`](crate::machine::MachineCtx) does so).
+    pub(crate) fn set_trace(&mut self, trace: Arc<MachineTrace>) {
+        self.trace = Some(trace);
     }
 
     /// An empty `Vec<T>` with capacity for at least `cap_elems` elements:
@@ -210,12 +222,18 @@ impl ChunkPool {
             self.note_handed_out(chunk.ptr as usize, cap_bytes);
             drop(shard);
             self.stats.exchange.record_pool_hit();
+            if let Some(t) = &self.trace {
+                t.instant(LANE_MAIN, EventKind::PoolHit, want_bytes as u64, 0);
+            }
             // SAFETY: TypeId match guarantees the allocation was made as a
             // Vec<T>, so layout/alignment agree and cap_bytes is an exact
             // multiple of size_of::<T>().
             return unsafe { Vec::from_raw_parts(chunk.ptr.cast::<T>(), 0, cap_bytes / size) };
         }
         self.stats.exchange.record_pool_miss();
+        if let Some(t) = &self.trace {
+            t.instant(LANE_MAIN, EventKind::PoolMiss, want_bytes as u64, 0);
+        }
         let fresh: Vec<T> = Vec::with_capacity(cap_elems);
         if fresh.capacity() > 0 {
             self.note_handed_out(fresh.as_ptr() as usize, fresh.capacity() * size);

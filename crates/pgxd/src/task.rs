@@ -13,7 +13,9 @@
 //! is scoped (joined before the parallel step returns) and visible to the
 //! verification tooling.
 
+use crate::trace::{EventKind, MachineTrace};
 use crossbeam::channel;
+use std::sync::Arc;
 
 /// A machine's worker-pool handle. Cloneable and cheap; the workers are
 /// scoped to each [`TaskManager::run_tasks`] call, which both keeps the
@@ -170,6 +172,27 @@ impl TaskManager {
     }
 }
 
+/// Wraps a task so its execution is recorded as a [`EventKind::Task`]
+/// span on `lane` of `trace` (`a` = `label`, e.g. the destination of an
+/// exchange send task; `b` = `index`). With `trace == None` the task is
+/// returned untouched — the untraced path pays nothing per execution.
+pub fn traced_task<'env>(
+    trace: Option<Arc<MachineTrace>>,
+    lane: u32,
+    label: u64,
+    index: u64,
+    task: Box<dyn FnOnce() + Send + 'env>,
+) -> Box<dyn FnOnce() + Send + 'env> {
+    match trace {
+        None => task,
+        Some(t) => Box::new(move || {
+            let t0 = t.now_ns();
+            task();
+            t.span_since(lane, EventKind::Task, t0, label, index);
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +331,31 @@ mod tests {
     fn zero_workers_clamped() {
         let tm = TaskManager::new(0);
         assert_eq!(tm.workers(), 1);
+    }
+
+    #[test]
+    fn traced_task_records_span_untraced_is_identity() {
+        use crate::trace::{TraceCollector, TraceConfig};
+        let tm = TaskManager::new(2);
+        let hits = AtomicUsize::new(0);
+        let c = TraceCollector::new(1, 3, TraceConfig::enabled().ring_capacity(8));
+        let mk = |trace| {
+            let h = &hits;
+            traced_task(
+                trace,
+                2,
+                42,
+                0,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+        };
+        tm.run_tasks(vec![mk(Some(c.machine(0))), mk(None)]);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        let log = c.collect();
+        assert_eq!(log.events.len(), 1, "only the traced task recorded");
+        assert_eq!(log.events[0].lane, 2);
+        assert_eq!(log.events[0].a, 42);
     }
 }

@@ -1,0 +1,138 @@
+//! pgxd-analyze: dependency-free static analysis for the pgxd runtime.
+//!
+//! Three passes over `crates/pgxd/src` (minus the `sync.rs` shim, which is
+//! the sanctioned boundary to the real primitives):
+//!
+//! 1. **lock-order** — every guard acquisition through `pgxd::sync`
+//!    (`.lock()`/`.read()`/`.write()` with empty parens) becomes a node;
+//!    acquiring one lock while another is live (directly or through any
+//!    resolved call chain) becomes an edge; cycles fail the build with the
+//!    full acquisition chain.
+//! 2. **blocking-under-lock** — barrier/condvar waits, channel send/recv,
+//!    `ChunkPool::acquire`, and joins reachable while a guard is live are
+//!    findings unless `analyze.allow` carries a justified entry.
+//! 3. **panic-surface** — `unwrap`/`expect`/direct indexing in the
+//!    exchange hot path (machine.rs, comm.rs, pool.rs) must carry an
+//!    `analyze: allow(panic-surface): <reason>` annotation.
+//!
+//! Everything is built on a hand-rolled lexer (no `syn`), so the crate
+//! compiles offline with no dependencies — same constraint as `xtask`.
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod items;
+pub mod lexer;
+pub mod report;
+
+use std::path::{Path, PathBuf};
+
+pub use analysis::{analyze_locks, panic_surface, AnalysisResult, Edge, LockGraph};
+pub use items::{parse_file, ParsedFile, UseDecl};
+pub use report::{apply_allowlist, parse_allowlist, render_human, render_json, Finding, Report};
+
+/// Files whose panic surface is gated (workspace-relative suffixes).
+pub const PANIC_SURFACE_FILES: &[&str] = &[
+    "crates/pgxd/src/machine.rs",
+    "crates/pgxd/src/comm.rs",
+    "crates/pgxd/src/pool.rs",
+];
+
+/// The sync shim: excluded from analysis — it is the one place allowed to
+/// touch the real primitives, and its internals (loom vs std) are not
+/// runtime lock structure.
+pub const SHIM_FILE: &str = "crates/pgxd/src/sync.rs";
+
+/// Runs all three analyses over in-memory sources.
+///
+/// `sources` is `(workspace-relative path, contents)`. `allow_text` is the
+/// contents of `analyze.allow` (empty string for none).
+pub fn analyze_sources(sources: &[(String, String)], allow_text: &str, allow_path: &str) -> Report {
+    let files: Vec<ParsedFile> = sources
+        .iter()
+        .filter(|(rel, _)| !rel.ends_with(SHIM_FILE) && rel.as_str() != SHIM_FILE)
+        .map(|(rel, src)| parse_file(rel, src))
+        .collect();
+    let mut result = analyze_locks(&files);
+    for pf in &files {
+        if PANIC_SURFACE_FILES.iter().any(|p| pf.rel.ends_with(p) || pf.rel == *p) {
+            result.findings.extend(panic_surface(pf));
+        }
+    }
+    let entries = parse_allowlist(allow_text);
+    apply_allowlist(result, &entries, allow_path)
+}
+
+/// Collects the runtime sources under `root/crates/pgxd/src` and runs the
+/// analyses with `root/analyze.allow` (missing file = empty allowlist).
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let src_dir = root.join("crates/pgxd/src");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_rs(&src_dir, &mut paths)?;
+    paths.sort();
+    let mut sources = Vec::new();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, std::fs::read_to_string(&p)?));
+    }
+    let allow_path = root.join("analyze.allow");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    Ok(analyze_sources(&sources, &allow_text, "analyze.allow"))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shim_is_excluded() {
+        let sources = vec![
+            (
+                "crates/pgxd/src/sync.rs".to_string(),
+                "impl Mutex { fn f(&self) { let a = self.x.lock(); let b = self.y.lock(); } }".to_string(),
+            ),
+        ];
+        let r = analyze_sources(&sources, "", "analyze.allow");
+        assert!(r.is_clean());
+        assert!(r.graph_nodes.is_empty());
+    }
+
+    #[test]
+    fn panic_surface_only_gates_listed_files() {
+        let body = "impl A { fn f(&self, v: &[u8]) { let x = v[0]; } }".to_string();
+        let flagged = analyze_sources(
+            &[("crates/pgxd/src/pool.rs".to_string(), body.clone())],
+            "",
+            "analyze.allow",
+        );
+        assert_eq!(flagged.findings.len(), 1);
+        let unflagged = analyze_sources(
+            &[("crates/pgxd/src/cluster.rs".to_string(), body)],
+            "",
+            "analyze.allow",
+        );
+        assert!(unflagged.is_clean());
+    }
+}

@@ -1,0 +1,111 @@
+//! Fixture corpus assertions: each should-fail fixture produces exactly
+//! the expected findings (file:line), and each should-pass fixture comes
+//! back clean.
+
+use pgxd_analyze::{analyze_sources, Report};
+
+fn run(name: &str, src: &str, allow: &str) -> Report {
+    analyze_sources(&[(name.to_string(), src.to_string())], allow, "analyze.allow")
+}
+
+#[test]
+fn lock_cycle_across_two_fns() {
+    let src = include_str!("fixtures/fail_lock_cycle.rs");
+    let r = run("fail_lock_cycle.rs", src, "");
+    assert!(!r.is_clean());
+    assert_eq!(
+        r.cycles,
+        [[
+            "InjCyclePool::inj_ring",
+            "InjCyclePool::inj_slab",
+            "InjCyclePool::inj_ring"
+        ]]
+    );
+
+    let mut sites: Vec<(String, usize, String)> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "blocking-under-lock")
+        .map(|f| (f.file.clone(), f.line, f.operation.clone()))
+        .collect();
+    sites.sort();
+    assert_eq!(
+        sites,
+        [
+            ("fail_lock_cycle.rs".to_string(), 16, "lock(InjCyclePool::inj_slab)".to_string()),
+            ("fail_lock_cycle.rs".to_string(), 22, "lock(InjCyclePool::inj_ring)".to_string()),
+        ]
+    );
+
+    let cycle = r
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order")
+        .expect("cycle finding");
+    assert!(cycle.message.contains("InjCyclePool::inj_ring -> InjCyclePool::inj_slab"));
+    // The provenance chain names both closing edges with file:line.
+    assert!(cycle.chain.iter().any(|s| s.contains("fail_lock_cycle.rs:16")), "{:?}", cycle.chain);
+    assert!(cycle.chain.iter().any(|s| s.contains("fail_lock_cycle.rs:22")), "{:?}", cycle.chain);
+}
+
+#[test]
+fn blocking_recv_through_helper() {
+    let src = include_str!("fixtures/fail_blocking_recv.rs");
+    let r = run("fail_blocking_recv.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "blocking-under-lock");
+    assert_eq!((f.file.as_str(), f.line), ("fail_blocking_recv.rs", 9));
+    assert_eq!(f.operation, "recv");
+    assert_eq!(f.held.as_deref(), Some("InjDrain::inj_state"));
+    assert_eq!(f.chain, ["InjDrain::pump"]);
+    assert!(r.cycles.is_empty());
+}
+
+#[test]
+fn allowlisted_site_passes_and_entry_is_not_stale() {
+    let src = include_str!("fixtures/pass_allowlisted.rs");
+    // Without the entry: one finding.
+    let bare = run("pass_allowlisted.rs", src, "");
+    assert_eq!(bare.findings.len(), 1);
+    assert_eq!(bare.findings[0].operation, "send");
+    let key = bare.findings[0].key();
+    assert_eq!(
+        key,
+        "blocking-under-lock | pass_allowlisted.rs | InjFlusher::flush | InjFlusher::inj_state | send"
+    );
+    // With a justified entry: clean, finding moved to `allowlisted`.
+    let allow = format!("# the flush channel is unbounded; send cannot block\n{key}\n");
+    let r = run("pass_allowlisted.rs", src, &allow);
+    assert!(r.is_clean(), "{:?}", r.findings);
+    assert_eq!(r.allowlisted.len(), 1);
+}
+
+#[test]
+fn block_scoped_guards_do_not_leak() {
+    let src = include_str!("fixtures/pass_block_scoped.rs");
+    let r = run("pass_block_scoped.rs", src, "");
+    assert!(r.is_clean(), "{:?}", r.findings);
+    assert!(r.graph_edges.is_empty());
+}
+
+#[test]
+fn aliased_use_fixture_parses_to_banned_paths() {
+    // The xtask lint owns the banning policy; here we assert the parsing
+    // layer it builds on sees through the renames.
+    let src = include_str!("fixtures/fail_aliased_use.rs");
+    let pf = pgxd_analyze::parse_file("fail_aliased_use.rs", src);
+    let got: Vec<(usize, &str, &str)> = pf
+        .uses
+        .iter()
+        .map(|u| (u.line, u.path.as_str(), u.name.as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        [
+            (7, "std::sync::Mutex", "InjStdMutex"),
+            (8, "std::sync::mpsc", "inj_chan"),
+            (8, "std::sync::RwLock", "InjRw"),
+        ]
+    );
+}

@@ -1,0 +1,15 @@
+//! Should-fail fixture for the xtask sync-shim lint: renamed imports of
+//! banned primitives. The literal-path rule cannot see these — the
+//! use-declaration tracker must. Expected findings: the renamed bindings
+//! (lines 7–8) and the aliased usage sites (lines 11–13).
+
+mod inj_aliased {
+    use std::sync::Mutex as InjStdMutex;
+    use std::sync::{mpsc as inj_chan, RwLock as InjRw};
+
+    fn build() {
+        let _rw = InjRw::new(0u32);
+        let _m = InjStdMutex::new(0u32);
+        let (_tx, _rx) = inj_chan::channel::<u8>();
+    }
+}

@@ -1,0 +1,16 @@
+//! Should-fail fixture: a blocking channel receive reached while a guard
+//! is live, through a helper call — the exact shape the intraprocedural
+//! lint cannot see. Expected finding: `recv` under `InjDrain::inj_state`
+//! at the call site on line 9, with chain `InjDrain::pump`.
+
+impl InjDrain {
+    fn drain_one(&self) {
+        let state = self.inj_state.lock();
+        self.pump();
+        drop(state);
+    }
+
+    fn pump(&self) {
+        self.inj_rx.recv();
+    }
+}

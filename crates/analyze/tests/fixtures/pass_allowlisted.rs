@@ -1,0 +1,11 @@
+//! Should-pass fixture (with the matching allowlist): a blocking send
+//! under a guard that the test suppresses via an `analyze.allow` entry,
+//! proving key-based matching and the stale-entry check.
+
+impl InjFlusher {
+    fn flush(&self) {
+        let state = self.inj_state.lock();
+        self.inj_tx.send(1);
+        drop(state);
+    }
+}

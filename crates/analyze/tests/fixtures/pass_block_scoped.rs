@@ -1,0 +1,25 @@
+//! Should-pass fixture: every blocking call happens after the guard is
+//! gone — a same-depth `drop`, a statement temporary ending at its `;`,
+//! and a block-scoped guard whose brace closes before the receive.
+
+impl InjScoped {
+    fn drop_then_recv(&self) {
+        let state = self.inj_state.lock();
+        state.touch();
+        drop(state);
+        self.inj_rx.recv();
+    }
+
+    fn temp_then_recv(&self) {
+        self.inj_state.lock().touch();
+        self.inj_rx.recv();
+    }
+
+    fn block_then_recv(&self) {
+        {
+            let state = self.inj_state.lock();
+            state.touch();
+        }
+        self.inj_rx.recv();
+    }
+}

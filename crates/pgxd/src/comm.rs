@@ -36,6 +36,8 @@ pub struct Tag {
 
 impl Tag {
     /// A user-namespace tag. Kinds 0..=15 are reserved for collectives.
+    // analyze: allow(panic-surface): tag-kind overflow is a caller bug the
+    // API contract promises to reject loudly.
     pub fn user(kind: u16, seq: u64) -> Tag {
         Tag {
             kind: kind.checked_add(16).expect("user tag kind overflow"),
@@ -171,6 +173,8 @@ impl CommSender {
         self.send_packet(dst, tag, wire_bytes, Box::new(data));
     }
 
+    // analyze: allow(panic-surface): dst is a machine id < p and a dropped
+    // fabric receiver means a peer died mid-step — crash, don't hang.
     fn send_packet(&self, dst: usize, tag: Tag, wire_bytes: usize, payload: Box<dyn Any + Send>) {
         if dst != self.id {
             self.stats.record_packet(wire_bytes, dst);

@@ -189,6 +189,8 @@ impl MachineCtx {
     /// Gathers one `Vec<T>` from every machine onto the master. Returns
     /// `Some(per_source)` on the master (indexed by source id), `None`
     /// elsewhere.
+    // analyze: allow(panic-surface): collective indexing is bounded by the
+    // machine count and a missing packet is a protocol bug worth a panic.
     pub fn gather_to_master<T: Send + 'static>(&mut self, data: Vec<T>) -> Option<Vec<Vec<T>>> {
         let tag = Tag {
             kind: kinds::GATHER,
@@ -243,6 +245,8 @@ impl MachineCtx {
         self.broadcast_shared(root, data, tag)
     }
 
+    // analyze: allow(panic-surface): a missing broadcast packet is a
+    // protocol bug; crashing beats silently desynchronizing the step.
     fn broadcast_shared<T: Send + Sync + Clone + 'static>(
         &mut self,
         root: usize,
@@ -271,6 +275,8 @@ impl MachineCtx {
 
     /// Simple all-to-all: machine `i` sends `parts[j]` to machine `j`;
     /// returns the `p` vectors received, indexed by source.
+    // analyze: allow(panic-surface): indexing is by machine id < p
+    // (asserted on entry) and a missing packet is a protocol bug.
     pub fn all_to_all<T: Send + 'static>(&mut self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(parts.len(), self.p, "one part per destination required");
         let tag = Tag {
@@ -325,6 +331,9 @@ impl MachineCtx {
     ///    `assembled[source_bounds[s]..source_bounds[s+1]]` is the run
     ///    received from machine `s` (runs stay contiguous so the final
     ///    merge can consume them and provenance stays recoverable).
+    // analyze: allow(panic-surface): offset arithmetic is verified by the
+    // count phase (and the debug checker's offset tiling); bounds checks
+    // panicking here catch corruption rather than writing stray bytes.
     pub fn exchange_by_offsets<T: Copy + Send + Sync + 'static>(
         &mut self,
         data: &[T],
@@ -494,6 +503,9 @@ impl MachineCtx {
     /// for the `exp exchange` microbenchmark and the regression tests;
     /// production callers use
     /// [`exchange_by_offsets`](MachineCtx::exchange_by_offsets).
+    // analyze: allow(panic-surface): reference implementation kept for
+    // equivalence tests; same bounded-by-count-phase indexing as the
+    // pooled path.
     pub fn exchange_by_offsets_legacy<T: Copy + Send + Sync + 'static>(
         &mut self,
         data: &[T],
@@ -585,6 +597,8 @@ impl MachineCtx {
     /// Shared count phase of both exchange variants: all-gathers the
     /// per-destination counts and derives (count matrix, receiver-side
     /// source bounds, this sender's base offset at each destination).
+    // analyze: allow(panic-surface): the count matrix is dense p×p by
+    // construction; indexing by machine id cannot miss.
     fn exchange_count_phase(
         &mut self,
         send_offsets: &[usize],
@@ -613,6 +627,8 @@ impl MachineCtx {
     /// All-gather with a caller-provided tag (used by the exchange's count
     /// phase so counts and data cannot be confused). One shared payload
     /// per contributor; per-receiver wire accounting is unchanged.
+    // analyze: allow(panic-surface): indexing is by machine id < p and a
+    // missing packet is a protocol bug worth a panic.
     fn all_gather_with_tag<T: Send + Sync + Clone + 'static>(
         &mut self,
         data: Vec<T>,

@@ -1,6 +1,10 @@
-//! Workspace automation. The one subcommand, `lint`, walks every `.rs`
-//! file in the workspace and enforces the unsafe-boundary policy that the
-//! compiler cannot (run it as `cargo xtask lint`):
+//! Workspace automation. `cargo xtask check` is the one entry point CI and
+//! humans use: it runs the policy lints below plus the `pgxd-analyze`
+//! static analyses (lock-order, blocking-under-lock, panic-surface — see
+//! `crates/analyze`) and fails if either finds anything. `lint` and
+//! `analyze` run each half alone; every subcommand takes `--json`.
+//!
+//! The lint rules:
 //!
 //! 1. **Unsafe allowlist** — the `unsafe` keyword may appear only in the
 //!    files that implement the exchange hot path and the tracking
@@ -16,18 +20,28 @@
 //!    creep in without showing up in this file's allowlist.
 //! 4. **Sync-shim discipline** — inside `crates/pgxd/src`, thread spawning
 //!    and locking must go through `pgxd::task::TaskManager` or
-//!    `pgxd::sync` (the loom-swappable shim): direct `std::thread::spawn`,
-//!    `std::sync::Mutex`, `parking_lot::Mutex`, or `parking_lot::Condvar`
-//!    are banned everywhere except `sync.rs` itself.
+//!    `pgxd::sync` (the loom-swappable shim): `std::thread::spawn`,
+//!    `std::sync::{Mutex, RwLock, Condvar, mpsc}`, and the `parking_lot`
+//!    equivalents are banned everywhere except `sync.rs` itself.
+//! 5. **Use-declaration tracking** — rule 4's literal matching cannot see
+//!    `use std::sync::{Mutex as M}` renames, brace-group imports, or
+//!    globs over a banned module's parent; the `use`-tree parser from
+//!    `pgxd-analyze` catches the declarations (`sync-shim-use`) and a
+//!    scope map catches uses of the renamed idents (`sync-shim-alias`).
 //!
-//! The scanner strips comments, strings, and char literals before looking
-//! for tokens, so prose mentioning `unsafe` or a banned path never trips
-//! a rule. Exit status is non-zero if any violation is found.
+//! The scanner (shared with `pgxd-analyze`) strips comments, strings, and
+//! char literals before looking for tokens, so prose mentioning `unsafe`
+//! or a banned path never trips a rule. Exit status is non-zero if any
+//! violation or analyzer finding survives.
 
 #![forbid(unsafe_code)]
 
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use pgxd_analyze::items::{parse_uses, KEYWORDS};
+use pgxd_analyze::lexer::{strip, tokens, StrippedFile, Tok};
 
 /// Files allowed to contain the `unsafe` keyword (workspace-relative,
 /// `/`-separated).
@@ -41,12 +55,19 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 /// (they own the allowlisted unsafe files).
 const UNSAFE_CRATES: &[&str] = &["crates/pgxd", "crates/memtrack"];
 
-/// Token sequences banned inside `crates/pgxd/src` (must use the
-/// `TaskManager` / `pgxd::sync` shim instead), except in the shim itself.
+/// Paths banned inside `crates/pgxd/src` (must use the `TaskManager` /
+/// `pgxd::sync` shim instead), except in the shim itself. Deliberately
+/// absent: `std::sync::Arc` and `std::sync::Barrier` (loom-compatible and
+/// used by machine/cluster on purpose) and `std::thread::scope` (the task
+/// manager's scoped threads are the sanctioned spawn path).
 const BANNED_IN_PGXD: &[&str] = &[
     "std::thread::spawn",
     "std::sync::Mutex",
+    "std::sync::RwLock",
+    "std::sync::Condvar",
+    "std::sync::mpsc",
     "parking_lot::Mutex",
+    "parking_lot::RwLock",
     "parking_lot::Condvar",
 ];
 
@@ -71,208 +92,12 @@ impl fmt::Display for Violation {
     }
 }
 
-/// A source file split into per-line code and comment text, with string
-/// and char literals removed from the code.
-struct StrippedFile {
-    code: Vec<String>,
-    comments: Vec<String>,
-}
-
-/// Strips `source` into code and comment channels. Handles line comments,
-/// nested block comments, string literals (plain, byte, raw with any `#`
-/// count), char literals, and lifetimes.
-fn strip(source: &str) -> StrippedFile {
-    let chars: Vec<char> = source.chars().collect();
-    let mut code = vec![String::new()];
-    let mut comments = vec![String::new()];
-    let mut i = 0;
-    // Whether the previous code char continues an identifier (so an `r` or
-    // `b` here is part of a name like `ptr`, not a raw-string prefix).
-    let mut prev_ident = false;
-
-    macro_rules! newline {
-        () => {{
-            code.push(String::new());
-            comments.push(String::new());
-        }};
-    }
-    macro_rules! push_code {
-        ($c:expr) => {{
-            let c: char = $c;
-            if c == '\n' {
-                newline!();
-            } else {
-                code.last_mut().unwrap().push(c);
-            }
-            prev_ident = c.is_alphanumeric() || c == '_';
-        }};
-    }
-
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-
-        // Line comment (covers `///` and `//!` too).
-        if c == '/' && next == Some('/') {
-            i += 2;
-            while i < chars.len() && chars[i] != '\n' {
-                comments.last_mut().unwrap().push(chars[i]);
-                i += 1;
-            }
-            continue;
-        }
-
-        // Block comment, nested.
-        if c == '/' && next == Some('*') {
-            i += 2;
-            let mut depth = 1usize;
-            while i < chars.len() && depth > 0 {
-                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    i += 2;
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    if chars[i] == '\n' {
-                        newline!();
-                    } else {
-                        comments.last_mut().unwrap().push(chars[i]);
-                    }
-                    i += 1;
-                }
-            }
-            continue;
-        }
-
-        // Raw string r"..." / r#"..."# (and br variants via the `b` case
-        // falling through to here on its second char).
-        if c == 'r' && !prev_ident && matches!(next, Some('"') | Some('#')) {
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while chars.get(j) == Some(&'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if chars.get(j) == Some(&'"') {
-                // Consume until `"` followed by `hashes` hashes.
-                j += 1;
-                loop {
-                    match chars.get(j) {
-                        None => break,
-                        Some('"') => {
-                            let mut k = 0;
-                            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                j += 1 + hashes;
-                                break;
-                            }
-                            j += 1;
-                        }
-                        Some('\n') => {
-                            newline!();
-                            j += 1;
-                        }
-                        Some(_) => j += 1,
-                    }
-                }
-                i = j;
-                prev_ident = true; // a literal ends like an expression
-                continue;
-            }
-            // `r#ident` raw identifier: emit and move on.
-            push_code!(c);
-            i += 1;
-            continue;
-        }
-
-        // Byte-string prefix: treat the `b` as code and let the `"` / `r`
-        // that follows be handled on the next iteration.
-        if c == 'b' && !prev_ident && matches!(next, Some('"') | Some('r') | Some('\'')) {
-            // Emit nothing for the prefix; `prev_ident` must stay false so
-            // the next char is seen as a literal opener.
-            prev_ident = false;
-            i += 1;
-            continue;
-        }
-
-        // String literal.
-        if c == '"' {
-            i += 1;
-            while i < chars.len() {
-                match chars[i] {
-                    '\\' => i += 2,
-                    '"' => {
-                        i += 1;
-                        break;
-                    }
-                    '\n' => {
-                        newline!();
-                        i += 1;
-                    }
-                    _ => i += 1,
-                }
-            }
-            prev_ident = true;
-            continue;
-        }
-
-        // Char literal vs lifetime.
-        if c == '\'' {
-            if next == Some('\\') {
-                // Escaped char: consume to the closing quote.
-                i += 2;
-                while i < chars.len() && chars[i] != '\'' {
-                    i += 1;
-                }
-                i += 1;
-                prev_ident = true;
-                continue;
-            }
-            if chars.get(i + 2) == Some(&'\'') && next.is_some() {
-                // 'x' — including '"', which must not open a string.
-                i += 3;
-                prev_ident = true;
-                continue;
-            }
-            // Lifetime or label: emit the quote as code and continue.
-            push_code!(c);
-            i += 1;
-            continue;
-        }
-
-        push_code!(c);
-        i += 1;
-    }
-
-    StrippedFile { code, comments }
-}
-
-/// Code tokens with their 1-based line numbers: identifiers (including
-/// keywords) as words, everything else as single chars.
-fn tokens(code: &[String]) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    for (idx, line) in code.iter().enumerate() {
-        let mut word = String::new();
-        for ch in line.chars() {
-            if ch.is_alphanumeric() || ch == '_' {
-                word.push(ch);
-            } else {
-                if !word.is_empty() {
-                    out.push((idx + 1, std::mem::take(&mut word)));
-                }
-                if !ch.is_whitespace() {
-                    out.push((idx + 1, ch.to_string()));
-                }
-            }
-        }
-        if !word.is_empty() {
-            out.push((idx + 1, word));
-        }
-    }
-    out
+/// The banned path `p` matches (segment-aligned), if any.
+fn banned_path(p: &str) -> Option<&'static str> {
+    BANNED_IN_PGXD
+        .iter()
+        .find(|b| p == **b || p.strip_prefix(**b).is_some_and(|rest| rest.starts_with("::")))
+        .copied()
 }
 
 /// True if line `line` (1-based) is covered by a `SAFETY:` comment — on
@@ -294,6 +119,129 @@ fn has_safety_comment(file: &StrippedFile, line: usize) -> bool {
     false
 }
 
+fn is_ident(t: &str) -> bool {
+    t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') && !KEYWORDS.contains(&t)
+}
+
+/// Rules 4–5: literal banned paths, banned `use` declarations (including
+/// renames, brace groups, and globs over a banned module's parent), and
+/// uses of renamed idents. `flagged` dedupes lines across the three rules.
+fn lint_sync_shim(
+    rel: &str,
+    stripped: &StrippedFile,
+    toks: &[Tok],
+    violations: &mut Vec<Violation>,
+) {
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+
+    // Rule 4 backstop: literal path on one line, whitespace-insensitive.
+    for (idx, line) in stripped.code.iter().enumerate() {
+        let compact: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        for banned in BANNED_IN_PGXD {
+            if compact.contains(banned) && flagged.insert(idx + 1) {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "sync-shim",
+                    message: format!(
+                        "`{banned}` bypasses the loom-swappable shim; use \
+                         `crate::sync` or `TaskManager` instead"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rule 5a: `use` declarations resolving to a banned path.
+    let uses = parse_uses(toks);
+    for u in &uses {
+        if let Some(b) = banned_path(&u.path) {
+            if flagged.insert(u.line) {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line: u.line,
+                    rule: "sync-shim-use",
+                    message: format!(
+                        "`use {}` (as `{}`) imports the banned `{b}`; use \
+                         `crate::sync` or `TaskManager` instead",
+                        u.path, u.name
+                    ),
+                });
+            }
+        } else if u.name == "*"
+            && BANNED_IN_PGXD.iter().any(|b| {
+                b.strip_prefix(u.path.as_str()).is_some_and(|rest| rest.starts_with("::"))
+            })
+        {
+            // A glob over e.g. `std::sync` silently pulls Mutex into scope.
+            if flagged.insert(u.line) {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line: u.line,
+                    rule: "sync-shim-use",
+                    message: format!(
+                        "`use {}::*` glob-imports banned primitives; import \
+                         the allowed items explicitly",
+                        u.path
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rule 5b: uses of idents whose `use`-expansion hits a banned path
+    // (e.g. `M::new()` after `use std::sync::{Mutex as M};`).
+    let alias: HashMap<&str, &str> = uses
+        .iter()
+        .filter(|u| u.name != "*")
+        .map(|u| (u.name.as_str(), u.path.as_str()))
+        .collect();
+    if alias.is_empty() {
+        return;
+    }
+    let in_decl = |i: usize| uses.iter().any(|u| i >= u.decl_tokens.0 && i < u.decl_tokens.1);
+    for i in 0..toks.len() {
+        let t = &toks[i].text;
+        if !is_ident(t) || in_decl(i) {
+            continue;
+        }
+        let Some(base) = alias.get(t.as_str()) else {
+            continue;
+        };
+        // Must be the start of a path: not a field/method access, not a
+        // later path segment.
+        if i > 0 && matches!(toks[i - 1].text.as_str(), "." | ":") {
+            continue;
+        }
+        // Compose trailing `::segment`s onto the expansion.
+        let mut full = (*base).to_string();
+        let mut j = i + 1;
+        while j + 2 < toks.len()
+            && toks[j].text == ":"
+            && toks[j + 1].text == ":"
+            && is_ident(&toks[j + 2].text)
+        {
+            full.push_str("::");
+            full.push_str(&toks[j + 2].text);
+            j += 3;
+        }
+        if let Some(b) = banned_path(&full) {
+            if flagged.insert(toks[i].line) {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line: toks[i].line,
+                    rule: "sync-shim-alias",
+                    message: format!(
+                        "`{t}` expands to the banned `{b}` (via its `use` \
+                         declaration); use `crate::sync` or `TaskManager` \
+                         instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Lints one file's stripped source. `rel` is the workspace-relative path
 /// with `/` separators.
 fn lint_file(rel: &str, source: &str, violations: &mut Vec<Violation>) {
@@ -301,14 +249,14 @@ fn lint_file(rel: &str, source: &str, violations: &mut Vec<Violation>) {
     let toks = tokens(&stripped.code);
     let allowlisted = UNSAFE_ALLOWLIST.contains(&rel);
 
-    for (i, (line, tok)) in toks.iter().enumerate() {
-        if tok != "unsafe" {
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.text != "unsafe" {
             continue;
         }
         if !allowlisted {
             violations.push(Violation {
                 file: rel.to_string(),
-                line: *line,
+                line: tok.line,
                 rule: "unsafe-allowlist",
                 message: format!(
                     "`unsafe` outside the allowlist ({}); move the code \
@@ -320,13 +268,13 @@ fn lint_file(rel: &str, source: &str, violations: &mut Vec<Violation>) {
         }
         // `unsafe fn` declarations (and fn-pointer types) are contracts,
         // not uses; everything else — blocks, impls — needs a SAFETY note.
-        if toks.get(i + 1).map(|(_, t)| t.as_str()) == Some("fn") {
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some("fn") {
             continue;
         }
-        if !has_safety_comment(&stripped, *line) {
+        if !has_safety_comment(&stripped, tok.line) {
             violations.push(Violation {
                 file: rel.to_string(),
-                line: *line,
+                line: tok.line,
                 rule: "safety-comment",
                 message: "`unsafe` block/impl without a `// SAFETY:` comment \
                           directly above"
@@ -336,22 +284,7 @@ fn lint_file(rel: &str, source: &str, violations: &mut Vec<Violation>) {
     }
 
     if rel.starts_with("crates/pgxd/src/") && rel != SYNC_SHIM {
-        for (idx, line) in stripped.code.iter().enumerate() {
-            let compact: String = line.chars().filter(|c| !c.is_whitespace()).collect();
-            for banned in BANNED_IN_PGXD {
-                if compact.contains(banned) {
-                    violations.push(Violation {
-                        file: rel.to_string(),
-                        line: idx + 1,
-                        rule: "sync-shim",
-                        message: format!(
-                            "`{banned}` bypasses the loom-swappable shim; use \
-                             `crate::sync` or `TaskManager` instead"
-                        ),
-                    });
-                }
-            }
-        }
+        lint_sync_shim(rel, &stripped, &toks, violations);
     }
 }
 
@@ -472,24 +405,131 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "lint".to_string());
-    match mode.as_str() {
-        "lint" => {
-            let root = workspace_root();
-            let violations = lint_workspace(&root);
-            if violations.is_empty() {
-                println!("xtask lint: ok ({} allowlisted unsafe files)", UNSAFE_ALLOWLIST.len());
-                return;
-            }
-            for v in &violations {
-                eprintln!("{v}");
-            }
-            eprintln!("xtask lint: {} violation(s)", violations.len());
+fn json_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn violations_json(violations: &[Violation]) -> String {
+    let items: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_esc(&v.file),
+                v.line,
+                json_esc(v.rule),
+                json_esc(&v.message)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Runs the lint half. Returns violations (already printed unless `json`).
+fn run_lint(root: &Path, json: bool) -> Vec<Violation> {
+    let violations = lint_workspace(root);
+    if json {
+        return violations;
+    }
+    if violations.is_empty() {
+        println!(
+            "xtask lint: ok ({} allowlisted unsafe files)",
+            UNSAFE_ALLOWLIST.len()
+        );
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+    }
+    violations
+}
+
+/// Runs the analyzer half, writing `results/analyze_report.json`. Returns
+/// the report (already printed unless `json`).
+fn run_analyze(root: &Path, json: bool) -> pgxd_analyze::Report {
+    let report = match pgxd_analyze::analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: cannot read workspace sources: {e}");
             std::process::exit(1);
         }
+    };
+    let out = root.join("results");
+    let report_json = pgxd_analyze::render_json(&report);
+    if std::fs::create_dir_all(&out).is_ok() {
+        if let Err(e) = std::fs::write(out.join("analyze_report.json"), &report_json) {
+            eprintln!("xtask analyze: cannot write results/analyze_report.json: {e}");
+        }
+    }
+    if !json {
+        let human = pgxd_analyze::render_human(&report);
+        if report.is_clean() {
+            print!("{human}");
+        } else {
+            eprint!("{human}");
+        }
+    }
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mode = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "check".to_string());
+    let root = workspace_root();
+    match mode.as_str() {
+        "lint" => {
+            let violations = run_lint(&root, json);
+            if json {
+                println!("{}", violations_json(&violations));
+            }
+            if !violations.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        "analyze" => {
+            let report = run_analyze(&root, json);
+            if json {
+                println!("{}", pgxd_analyze::render_json(&report));
+            }
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        "check" => {
+            let violations = run_lint(&root, json);
+            let report = run_analyze(&root, json);
+            if json {
+                println!(
+                    "{{\"lint\": {}, \"analyze\": {}}}",
+                    violations_json(&violations),
+                    pgxd_analyze::render_json(&report)
+                );
+            } else if violations.is_empty() && report.is_clean() {
+                println!("xtask check: ok");
+            }
+            if !violations.is_empty() || !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
         other => {
-            eprintln!("unknown xtask subcommand `{other}` (expected: lint)");
+            eprintln!("unknown xtask subcommand `{other}` (expected: check, lint, analyze; optional --json)");
             std::process::exit(2);
         }
     }
@@ -658,6 +698,24 @@ mod tests {
     }
 
     #[test]
+    fn newly_banned_literal_paths_flagged() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/lib.rs",
+                "pub fn f() {\n    let _ = std::sync::RwLock::new(0u32);\n\
+                 \x20   let (_tx, _rx) = std::sync::mpsc::channel::<u8>();\n}\n\
+                 pub struct C(std::sync::Condvar);\n",
+            );
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["sync-shim", "sync-shim", "sync-shim"]);
+        assert_eq!(
+            v.iter().map(|v| v.line).collect::<Vec<_>>(),
+            vec![2, 3, 5]
+        );
+    }
+
+    #[test]
     fn sync_shim_itself_may_name_the_primitives() {
         let fx = Fixture::new();
         fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
@@ -673,6 +731,83 @@ mod tests {
     }
 
     #[test]
+    fn renamed_import_and_its_uses_flagged() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/lib.rs",
+                "use std::sync::{Mutex as M};\n\
+                 pub fn f() {\n    let _m = M::new(0u32);\n}\n",
+            );
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["sync-shim-use", "sync-shim-alias"]);
+        assert_eq!((v[0].line, v[1].line), (1, 3));
+    }
+
+    #[test]
+    fn module_alias_composition_flagged() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/lib.rs",
+                "use std::sync as ss;\n\
+                 pub fn f() {\n    let _m = ss::Mutex::new(0u32);\n}\n",
+            );
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["sync-shim-alias"]);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn glob_over_banned_parent_flagged() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/lib.rs",
+                "use std::sync::*;\npub fn f() {}\n",
+            );
+        let v = fx.lint();
+        assert_eq!(rules(&v), vec!["sync-shim-use"]);
+    }
+
+    #[test]
+    fn shim_and_harmless_imports_pass() {
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write(
+                "crates/pgxd/src/lib.rs",
+                "use crate::sync::Mutex;\n\
+                 use std::sync::{Arc, Barrier};\n\
+                 use std::sync::atomic::{AtomicUsize, Ordering};\n\
+                 pub fn f() {\n    let _m = Mutex::new(0u32);\n    let _a = Arc::new(1u8);\n}\n",
+            );
+        assert_eq!(fx.lint(), Vec::new());
+    }
+
+    #[test]
+    fn aliased_use_fixture_produces_expected_findings() {
+        // The shared should-fail fixture from the analyzer's corpus,
+        // dropped into a scratch pgxd tree.
+        let src = include_str!("../../analyze/tests/fixtures/fail_aliased_use.rs");
+        let fx = Fixture::new();
+        fx.write("crates/pgxd/Cargo.toml", "[package]\nname = \"pgxd\"\n")
+            .write("crates/pgxd/src/aliased.rs", src)
+            .write("crates/pgxd/src/lib.rs", "pub mod aliased;\n");
+        let v = fx.lint();
+        let got: Vec<(&'static str, usize)> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("sync-shim", 7),        // literal `use std::sync::Mutex as ...`
+                ("sync-shim-use", 8),    // brace-group renames (one line)
+                ("sync-shim-alias", 11), // InjRw::new
+                ("sync-shim-alias", 12), // InjStdMutex::new
+                ("sync-shim-alias", 13), // inj_chan::channel
+            ]
+        );
+    }
+
+    #[test]
     fn tests_and_benches_are_scanned_too() {
         let fx = Fixture::new();
         fx.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n")
@@ -682,6 +817,21 @@ mod tests {
                 "#[test]\nfn t() { let p = &1u8 as *const u8; let _ = unsafe { *p }; }\n",
             );
         assert_eq!(rules(&fx.lint()), vec!["unsafe-allowlist"]);
+    }
+
+    #[test]
+    fn violations_json_shape() {
+        let v = vec![Violation {
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            rule: "sync-shim",
+            message: "bad\nthing".to_string(),
+        }];
+        assert_eq!(
+            violations_json(&v),
+            "[{\"file\":\"a\\\"b.rs\",\"line\":3,\"rule\":\"sync-shim\",\"message\":\"bad\\nthing\"}]"
+        );
+        assert_eq!(violations_json(&[]), "[]");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! exp ablation [--n=N] [--procs=P]
 //! exp exchange [--n=N] [--procs=P] [--workers=W]
 //! exp trace   [--n=N] [--procs=P] [--workers=W]
+//! exp chaos   [--n=N] [--procs=P] [--workers=W] [--seed=S]
 //! exp all     — run everything with defaults
 //! ```
 //!
@@ -28,6 +29,11 @@
 //! prints the derived views (step Gantt, exchange overlap, barrier skew).
 //! Passing `--trace` to `fig7` does the same for its normal-distribution
 //! run (`results/trace_fig7.json`).
+//!
+//! `exp chaos` sweeps the fault-injection presets (see `pgxd::fault`)
+//! across seeds on a skew-storm workload, recording survival, structured
+//! failures, and latency degradation vs a fault-free baseline
+//! (`results/chaos_sweep.json`).
 
 use pgxd::trace::TraceConfig;
 use pgxd_bench::runner::{
@@ -825,6 +831,176 @@ fn trace_cmd(opts: &Opts) {
 // ---------------------------------------------------------------------------
 // Environment report (our analogue of the paper's Table I).
 // ---------------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// `exp chaos`: fault-plan sweep — survival, timeouts, latency degradation.
+// ---------------------------------------------------------------------------
+fn chaos_defaults() -> Opts {
+    Opts {
+        n: 200_000,
+        procs: vec![8],
+        ..Opts::default()
+    }
+}
+
+/// Sweeps the fault-plan presets across seeds on an adversarial
+/// distribution, recording per-cell verdicts (survived / structured
+/// error) and latency degradation against a fault-free baseline. Every
+/// cell is replayable from its printed seed.
+fn chaos_cmd(opts: &Opts) {
+    use pgxd::cluster::{Cluster, ClusterConfig};
+    use pgxd::{FaultPlan, RunErrorKind};
+    use pgxd_core::DistSorter;
+    use pgxd_datagen::generate_partitioned;
+    use std::time::{Duration, Instant};
+
+    let p = opts.procs.first().copied().unwrap_or(8);
+    let n = opts.n;
+    let seeds: Vec<u64> = (0..5).map(|i| opts.seed + i).collect();
+    let dist = Distribution::skew_storm(0.85);
+    let parts = generate_partitioned(dist, n, p, opts.seed);
+    let expect = {
+        let mut all = parts.concat();
+        all.sort_unstable();
+        all
+    };
+
+    let run_cell = |plan: FaultPlan| -> (Option<RunErrorKind>, f64, bool) {
+        let cluster = Cluster::new(
+            ClusterConfig::new(p)
+                .workers_per_machine(opts.workers)
+                .fault(plan),
+        );
+        let sorter = DistSorter::default();
+        let parts_ref = &parts;
+        let started = Instant::now();
+        let outcome = cluster.try_run(|ctx| sorter.sort(ctx, parts_ref[ctx.id()].clone()).data);
+        let wall = started.elapsed().as_secs_f64();
+        match outcome {
+            Ok(report) => (None, wall, report.results.concat() == expect),
+            Err(err) => (Some(err.kind), wall, false),
+        }
+    };
+
+    // Fault-free baseline for the degradation column.
+    let (_, baseline, baseline_ok) = run_cell(FaultPlan::disabled());
+    assert!(baseline_ok, "fault-free baseline must sort correctly");
+
+    println!(
+        "\n=== Chaos sweep: {} keys of {}, p = {p}, {} seeds/plan (baseline {}) ===\n",
+        n,
+        dist.name(),
+        seeds.len(),
+        fmt_secs(baseline)
+    );
+
+    let plans: Vec<(&str, Box<dyn Fn(u64) -> FaultPlan>)> = vec![
+        ("delays", Box::new(FaultPlan::delays)),
+        ("reorders", Box::new(FaultPlan::reorders)),
+        ("drops", Box::new(FaultPlan::drops)),
+        ("straggler", Box::new(move |s| FaultPlan::straggler(s, 1 % p.max(1)))),
+        ("chaos", Box::new(FaultPlan::chaos)),
+        (
+            "chaos+kill",
+            Box::new(move |s| {
+                // Threshold 3 fires inside the count-phase all-gather for
+                // any p >= 4, independent of how the data chunks route.
+                FaultPlan::chaos(s)
+                    .kill(1 % p.max(1), 3)
+                    .step_timeout(Duration::from_secs(10))
+            }),
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "plan", "survived", "killed", "timed out", "panicked", "mean wall", "slowdown",
+    ]);
+    let mut cells = Vec::new();
+    let mut summary = Vec::new();
+    for (name, make) in &plans {
+        let (mut survived, mut killed, mut timed_out, mut panicked) = (0u32, 0u32, 0u32, 0u32);
+        let mut wall_sum = 0.0;
+        for &seed in &seeds {
+            let (verdict, wall, ok) = run_cell(make(seed));
+            wall_sum += wall;
+            let verdict_str = match verdict {
+                None => {
+                    assert!(ok, "plan {name} seed {seed}: survived but output wrong");
+                    survived += 1;
+                    "survived"
+                }
+                Some(RunErrorKind::InjectedKill) => {
+                    killed += 1;
+                    "injected-kill"
+                }
+                Some(RunErrorKind::StepTimeout) => {
+                    timed_out += 1;
+                    "step-timeout"
+                }
+                Some(RunErrorKind::MachinePanic) => {
+                    panicked += 1;
+                    "machine-panic"
+                }
+            };
+            cells.push(serde_json::json!({
+                "plan": name,
+                "seed": seed,
+                "verdict": verdict_str,
+                "wall_secs": wall,
+                "slowdown": wall / baseline,
+            }));
+        }
+        let mean_wall = wall_sum / seeds.len() as f64;
+        table.row(vec![
+            name.to_string(),
+            survived.to_string(),
+            killed.to_string(),
+            timed_out.to_string(),
+            panicked.to_string(),
+            fmt_secs(mean_wall),
+            format!("{:.2}x", mean_wall / baseline),
+        ]);
+        summary.push(serde_json::json!({
+            "plan": name,
+            "survived": survived,
+            "injected_kills": killed,
+            "step_timeouts": timed_out,
+            "machine_panics": panicked,
+            "mean_wall_secs": mean_wall,
+            "mean_slowdown": mean_wall / baseline,
+        }));
+    }
+    table.print();
+
+    // Non-kill plans must always survive; the kill plan must always fail
+    // with a structured error (never a hang — try_run returned at all).
+    let doc = serde_json::json!({
+        "experiment": "chaos_sweep",
+        "n": n,
+        "machines": p,
+        "workers": opts.workers,
+        "distribution": dist.name(),
+        "data_seed": opts.seed,
+        "plan_seeds": seeds,
+        "baseline_wall_secs": baseline,
+        "cells": cells,
+        "summary": summary,
+    });
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("chaos_sweep.json");
+        match serde_json::to_string_pretty(&doc) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("(raw results → {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize results: {e}"),
+        }
+    }
+}
+
 fn env_report(opts: &Opts) {
     println!("\n=== Simulation environment (cf. paper Table I) ===\n");
     let mut table = Table::new(vec!["item", "paper", "this harness"]);
@@ -884,6 +1060,8 @@ fn main() {
         "exchange" => exchange(&parse_opts_from(exchange_defaults(), &args[1.min(args.len())..])),
         // Own defaults (2^20 keys, p=4), same flag re-parse.
         "trace" => trace_cmd(&parse_opts_from(trace_defaults(), &args[1.min(args.len())..])),
+        // Own defaults (2 × 10^5 keys, p=8), same flag re-parse.
+        "chaos" => chaos_cmd(&parse_opts_from(chaos_defaults(), &args[1.min(args.len())..])),
         "env" => env_report(&opts),
         "all" => {
             env_report(&opts);
@@ -900,10 +1078,11 @@ fn main() {
             buffer_sweep(&opts);
             exchange(&exchange_defaults());
             trace_cmd(&trace_defaults());
+            chaos_cmd(&chaos_defaults());
         }
         _ => {
             eprintln!(
-                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|exchange|trace|all> \
+                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|exchange|trace|chaos|all> \
                  [--n=N] [--procs=8,16,32,52] [--workers=W] [--seed=S] [--scale=S] [--ef=E] [--trace]"
             );
             std::process::exit(2);

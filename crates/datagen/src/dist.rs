@@ -24,6 +24,23 @@ pub enum Distribution {
     /// (d) Exponential, coarsely quantized — many duplicates at small
     ///     values.
     Exponential,
+    /// Adversarial (chaos-harness): a configurable fraction of all keys
+    /// collapse onto one hot value, the rest are uniform. At
+    /// `hot_key_permille = 900` this is far past the Fig. 3 regime —
+    /// splitter duplication is guaranteed at any processor count.
+    /// Stored in permille so the enum stays `Eq + Hash`; build with
+    /// [`Distribution::skew_storm`].
+    SkewStorm {
+        /// Fraction of keys equal to the hot key, in permille (0..=1000).
+        hot_key_permille: u32,
+    },
+    /// Adversarial (chaos-harness): keys drawn uniformly from only
+    /// `distinct` values, so every value repeats `n / distinct` times on
+    /// average. Build with [`Distribution::duplicate_heavy`].
+    DuplicateHeavy {
+        /// Number of distinct key values (≥ 1; 0 is treated as 1).
+        distinct: u64,
+    },
 }
 
 impl Distribution {
@@ -35,6 +52,18 @@ impl Distribution {
         Distribution::Exponential,
     ];
 
+    /// A skew storm where `hot_key_fraction` (in `[0, 1]`) of all keys
+    /// equal one hot value. The fraction is rounded to permille.
+    pub fn skew_storm(hot_key_fraction: f64) -> Self {
+        let permille = (hot_key_fraction.clamp(0.0, 1.0) * 1000.0).round() as u32;
+        Distribution::SkewStorm { hot_key_permille: permille }
+    }
+
+    /// A duplicate-heavy stream over `distinct` values (0 treated as 1).
+    pub fn duplicate_heavy(distinct: u64) -> Self {
+        Distribution::DuplicateHeavy { distinct }
+    }
+
     /// Paper-style display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -42,6 +71,8 @@ impl Distribution {
             Distribution::Normal => "normal",
             Distribution::RightSkewed => "right-skewed",
             Distribution::Exponential => "exponential",
+            Distribution::SkewStorm { .. } => "skew-storm",
+            Distribution::DuplicateHeavy { .. } => "duplicate-heavy",
         }
     }
 
@@ -75,6 +106,19 @@ impl Distribution {
                 let u: f64 = rng.random_range(f64::EPSILON..1.0);
                 let value = (-u.ln() * 2.0) as u64;
                 value * 1000
+            }
+            Distribution::SkewStorm { hot_key_permille } => {
+                // Hot key sits mid-range so both splitter halves see it.
+                if rng.random_range(0..1000u32) < (*hot_key_permille).min(1000) {
+                    1u64 << 39
+                } else {
+                    rng.random_range(0..1u64 << 40)
+                }
+            }
+            Distribution::DuplicateHeavy { distinct } => {
+                // Spread by a large odd stride so the distinct values are
+                // not all adjacent integers (exercises splitter search).
+                rng.random_range(0..(*distinct).max(1)).wrapping_mul(0x9e37_79b9) & ((1 << 40) - 1)
             }
         }
     }
@@ -196,6 +240,53 @@ mod tests {
         let v = generate(Distribution::Uniform, N, 6);
         let distinct: HashSet<u64> = v.iter().copied().collect();
         assert!(distinct.len() > N * 9 / 10);
+    }
+
+    #[test]
+    fn skew_storm_concentrates_on_hot_key() {
+        let dist = Distribution::skew_storm(0.9);
+        assert_eq!(dist, Distribution::SkewStorm { hot_key_permille: 900 });
+        let v = generate(dist, N, 11);
+        let hot = v.iter().filter(|&&x| x == 1u64 << 39).count();
+        let frac = hot as f64 / v.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "hot-fraction={frac}");
+        // Determinism, as for the paper distributions.
+        assert_eq!(v, generate(dist, N, 11));
+    }
+
+    #[test]
+    fn skew_storm_extremes() {
+        let all_hot = generate(Distribution::skew_storm(1.0), 5_000, 12);
+        assert!(all_hot.iter().all(|&x| x == 1u64 << 39));
+        let none_hot = generate(Distribution::skew_storm(0.0), 5_000, 13);
+        let hot = none_hot.iter().filter(|&&x| x == 1u64 << 39).count();
+        assert_eq!(hot, 0);
+    }
+
+    #[test]
+    fn duplicate_heavy_bounds_distinct_values() {
+        for wanted in [1u64, 2, 16, 1000] {
+            let v = generate(Distribution::duplicate_heavy(wanted), 50_000, 14);
+            let distinct: HashSet<u64> = v.iter().copied().collect();
+            assert!(
+                distinct.len() as u64 <= wanted,
+                "wanted ≤{wanted}, got {}",
+                distinct.len()
+            );
+            // With n >> distinct, nearly all values should actually occur.
+            if wanted <= 16 {
+                assert_eq!(distinct.len() as u64, wanted);
+            }
+        }
+        // distinct = 0 degrades to a single value, not a panic.
+        let v = generate(Distribution::duplicate_heavy(0), 1_000, 15);
+        assert_eq!(v.iter().copied().collect::<HashSet<_>>().len(), 1);
+    }
+
+    #[test]
+    fn adversarial_names() {
+        assert_eq!(Distribution::skew_storm(0.5).name(), "skew-storm");
+        assert_eq!(Distribution::duplicate_heavy(8).name(), "duplicate-heavy");
     }
 
     #[test]

@@ -34,6 +34,9 @@ use crate::trace::{violation, EventKind, MachineTrace, LANE_MAIN};
 use std::collections::HashMap;
 // std Arc for the same reason as the pool's checker handle: plain shared
 // ownership of non-loom-modeled state, handed around as std::sync::Arc.
+// The abort flag is a monotonic disarm switch, never a synchronization
+// point, so it stays on std atomics like the metrics counters.
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Whether the checker hooks are compiled in. `const`, so the hot-path
@@ -77,6 +80,26 @@ pub struct ProtocolChecker {
     /// so the violation is visible in the exported timeline at the moment
     /// the fabric proved it.
     traces: Mutex<HashMap<usize, Arc<MachineTrace>>>,
+    /// Set when the run is aborted (a machine failed or a step timed
+    /// out): quiescence checks stand down, because a run that died
+    /// mid-exchange legitimately strands packets and chunk custody. The
+    /// stranded state is still reported — as
+    /// [`RunError::residual`](crate::fault::RunError) via
+    /// [`ProtocolChecker::residual`] — instead of panicking over it.
+    aborted: AtomicBool,
+}
+
+/// Checker-ledger debris counted after an aborted run: what the fabric
+/// still held when the surviving machines tore down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResidualReport {
+    /// Packets sent but never consumed.
+    pub in_flight_packets: usize,
+    /// Chunks checked out of a pool and never released.
+    pub live_chunks: usize,
+    /// Chunks parked in pool free lists (normal at teardown; reported for
+    /// completeness).
+    pub parked_chunks: usize,
 }
 
 impl ProtocolChecker {
@@ -86,6 +109,31 @@ impl ProtocolChecker {
             machines,
             ledger: Mutex::new(Ledger::default()),
             traces: Mutex::new(HashMap::new()),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Disarms the quiescence checks: the run is unwinding after a
+    /// failure, so stranded ledger state is expected, not a protocol bug.
+    /// Irreversible for this fabric (each run builds a fresh one).
+    pub fn set_aborted(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`set_aborted`](ProtocolChecker::set_aborted) ran.
+    pub fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Counts the ledger state a failed run left behind (packets never
+    /// consumed, chunk custody never returned). Meaningful after teardown
+    /// of an aborted run; all zeros for a clean one.
+    pub fn residual(&self) -> ResidualReport {
+        let ledger = self.ledger.lock();
+        ResidualReport {
+            in_flight_packets: ledger.in_flight.values().sum(),
+            live_chunks: ledger.live_chunks.len(),
+            parked_chunks: ledger.parked_chunks.len(),
         }
     }
 
@@ -231,6 +279,11 @@ impl ProtocolChecker {
     /// callers all agree.
     pub fn check_quiescent(&self, context: &str, machine: Option<usize>) {
         if !ENABLED {
+            return;
+        }
+        if self.aborted() {
+            // The run died mid-protocol; stranded state is expected and
+            // reported through residual() instead.
             return;
         }
         let ledger = self.ledger.lock();
@@ -447,5 +500,21 @@ mod tests {
     #[test]
     fn offset_ledger_accepts_empty_total() {
         OffsetLedger::new(0, tag(), 0).finish();
+    }
+
+    #[test]
+    fn aborted_checker_stands_down_and_reports_residual() {
+        let c = ProtocolChecker::new(2);
+        c.packet_sent(0, 1, tag());
+        c.chunk_acquired(0, 0x3000, 128);
+        c.set_aborted();
+        assert!(c.aborted());
+        // Would panic on both counts if the check were still armed.
+        c.check_quiescent("teardown after abort", None);
+        let r = c.residual();
+        if ENABLED {
+            assert_eq!(r.in_flight_packets, 1);
+            assert_eq!(r.live_chunks, 1);
+        }
     }
 }

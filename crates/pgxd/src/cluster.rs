@@ -2,13 +2,18 @@
 
 use crate::checker;
 use crate::comm::CommManager;
+use crate::fault::{
+    ClusterBarrier, FaultInjector, FaultPlan, InjectedFailure, RunError, RunErrorKind,
+};
 use crate::machine::MachineCtx;
 use crate::metrics::{CommStats, CommSummary, StepReport};
 use crate::net::NetworkModel;
 use crate::sync::Mutex;
 use crate::task::TaskManager;
 use crate::trace::{TraceCollector, TraceConfig, TraceLog};
-use std::sync::{Arc, Barrier};
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a simulated cluster.
@@ -26,6 +31,8 @@ pub struct ClusterConfig {
     /// Structured-tracing configuration (off by default; see
     /// [`crate::trace`]).
     pub trace: TraceConfig,
+    /// Fault-injection plan (off by default; see [`crate::fault`]).
+    pub fault: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -40,6 +47,7 @@ impl ClusterConfig {
             buffer_bytes: crate::DEFAULT_BUFFER_BYTES,
             net: NetworkModel::default(),
             trace: TraceConfig::disabled(),
+            fault: FaultPlan::disabled(),
         }
     }
 
@@ -64,6 +72,12 @@ impl ClusterConfig {
     /// Sets the tracing configuration.
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -134,8 +148,94 @@ impl Cluster {
     /// Runs `f` once per machine (SPMD) and collects results and metrics.
     ///
     /// # Panics
-    /// Propagates any machine panic after all machines stop.
+    /// Propagates any machine panic after all machines stop: string
+    /// payloads re-panic as `machine thread panicked: {msg}`, typed
+    /// payloads (`std::panic::panic_any`) propagate intact via
+    /// `resume_unwind`, and injected failures (fault-plan kills and step
+    /// timeouts) re-panic with their description. Use
+    /// [`Cluster::try_run`] to receive failures as values instead.
+    // analyze: allow(panic-surface): `run` is the panicking entry point by
+    // contract; `try_run` is the structured alternative.
     pub fn run<R, F>(&self, f: F) -> RunReport<R>
+    where
+        R: Send,
+        F: Fn(&mut MachineCtx) -> R + Sync,
+    {
+        match self.run_inner(f) {
+            Ok(report) => report,
+            Err(failed) => {
+                let payload = failed.primary.payload;
+                if let Some(injected) = payload.downcast_ref::<InjectedFailure>() {
+                    panic!("machine thread panicked: {injected}");
+                }
+                // Re-panic with the machine's own message (the payload of
+                // a joined panic is opaque otherwise), so cluster tests
+                // can match on the original diagnostic. Typed payloads
+                // (std::panic::panic_any) propagate intact.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned());
+                match msg {
+                    Some(msg) => panic!("machine thread panicked: {msg}"),
+                    None => std::panic::resume_unwind(payload),
+                }
+            }
+        }
+    }
+
+    /// Like [`Cluster::run`], but converts machine failures — panics,
+    /// fault-plan kills, step timeouts — into a structured [`RunError`]
+    /// instead of panicking. The first failing machine (in machine order,
+    /// skipping sympathetic peer aborts) is reported as primary; the
+    /// protocol checker's leftover ledger state rides along as
+    /// [`RunError::residual`] so tests can assert what a dead machine
+    /// stranded.
+    pub fn try_run<R, F>(&self, f: F) -> Result<RunReport<R>, RunError>
+    where
+        R: Send,
+        F: Fn(&mut MachineCtx) -> R + Sync,
+    {
+        self.run_inner(f).map_err(|failed| {
+            let machine = failed.primary.machine;
+            let payload = &failed.primary.payload;
+            let (kind, message) = match payload.downcast_ref::<InjectedFailure>() {
+                Some(injected @ InjectedFailure::Kill { .. }) => {
+                    (RunErrorKind::InjectedKill, injected.to_string())
+                }
+                Some(injected @ InjectedFailure::Timeout { .. }) => {
+                    (RunErrorKind::StepTimeout, injected.to_string())
+                }
+                Some(injected @ InjectedFailure::PeerAborted) => {
+                    // Only possible if *every* failure was sympathetic —
+                    // the primary cause exited without a payload.
+                    (RunErrorKind::MachinePanic, injected.to_string())
+                }
+                None => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    (RunErrorKind::MachinePanic, msg)
+                }
+            };
+            RunError {
+                kind,
+                machine: Some(machine),
+                message,
+                peer_aborts: failed.peer_aborts,
+                residual: failed.residual,
+            }
+        })
+    }
+
+    /// The shared engine of [`run`](Cluster::run) and
+    /// [`try_run`](Cluster::try_run): spawns the machines, catches each
+    /// machine's unwind so the *first* failure aborts the run (instead of
+    /// the scope's opaque "a scoped thread panicked"), and classifies the
+    /// surviving wreckage.
+    fn run_inner<R, F>(&self, f: F) -> Result<RunReport<R>, FailedRun>
     where
         R: Send,
         F: Fn(&mut MachineCtx) -> R + Sync,
@@ -144,9 +244,18 @@ impl Cluster {
         // ClusterConfig's fields are pub, so a struct-literal config can
         // bypass the machines > 0 assert in ClusterConfig::new.
         assert!(p > 0, "need at least one machine");
+        let plan = self.config.fault;
         let stats = Arc::new(CommStats::new(p, self.config.net));
-        let barrier = Arc::new(Barrier::new(p));
-        let comms = CommManager::fabric(p, stats.clone());
+        // The barrier doubles as the run's control plane: abort flag and
+        // (with an armed plan) the per-step timeout.
+        let barrier = Arc::new(ClusterBarrier::new(
+            p,
+            if plan.enabled { plan.step_timeout } else { None },
+        ));
+        let injector = plan
+            .enabled
+            .then(|| Arc::new(FaultInjector::new(plan, p, self.config.net, barrier.clone())));
+        let comms = CommManager::fabric_with_faults(p, stats.clone(), injector.clone());
         let fabric_checker = comms[0].checker().clone();
         // Lane 0 is the machine's mainline thread; 1.. its worker/send
         // lanes. The collector is the shared epoch for all machines.
@@ -157,48 +266,84 @@ impl Cluster {
 
         let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
         let mut timers = vec![Vec::new(); p];
+        let mut failures: Vec<MachineFailure> = Vec::new();
         {
             let f = &f;
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(p);
                 for comm in comms {
+                    let machine_id = comm.id();
                     let barrier = barrier.clone();
+                    let checker = comm.checker().clone();
                     let stats = stats.clone();
                     let workers = self.config.workers_per_machine;
                     let buffer_bytes = self.config.buffer_bytes;
-                    let trace = collector.as_ref().map(|c| c.machine(comm.id()));
+                    let injector = injector.clone();
+                    let trace = collector.as_ref().map(|c| c.machine(machine_id));
                     handles.push(scope.spawn(move || {
-                        let mut ctx = MachineCtx::new(
-                            comm,
-                            TaskManager::new(workers),
-                            barrier,
-                            buffer_bytes,
-                            stats,
-                            trace,
-                        );
-                        let r = f(&mut ctx);
-                        let timer = ctx.take_timer();
-                        (ctx.id(), r, timer)
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut ctx = MachineCtx::new(
+                                comm,
+                                TaskManager::with_fault(workers, machine_id, injector),
+                                barrier.clone(),
+                                buffer_bytes,
+                                stats,
+                                trace,
+                            );
+                            let r = f(&mut ctx);
+                            let timer = ctx.take_timer();
+                            (r, timer)
+                        }));
+                        if outcome.is_err() {
+                            // First failure wins the race to abort: every
+                            // peer blocked at a barrier or a receive
+                            // unwinds promptly, and the quiescence checks
+                            // stand down (an aborted run legitimately
+                            // strands packets and chunk custody).
+                            checker.set_aborted();
+                            barrier.abort();
+                        }
+                        (machine_id, outcome)
                     }));
                 }
                 for h in handles {
-                    // Re-panic with the machine's own message (the payload
-                    // of a joined panic is opaque otherwise), so cluster
-                    // tests can match on the original diagnostic. Typed
-                    // payloads (std::panic::panic_any) propagate intact.
-                    let (id, r, timer) = h.join().unwrap_or_else(|payload| {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned());
-                        match msg {
-                            Some(msg) => panic!("machine thread panicked: {msg}"),
-                            None => std::panic::resume_unwind(payload),
+                    // The machine body is fully caught above; a panic out
+                    // of the wrapper itself is a runtime bug.
+                    let (id, outcome) = h.join().expect("machine wrapper panicked");
+                    match outcome {
+                        Ok((r, timer)) => {
+                            results[id] = Some(r);
+                            timers[id] = timer.steps().to_vec();
                         }
-                    });
-                    results[id] = Some(r);
-                    timers[id] = timer.steps().to_vec();
+                        Err(payload) => failures.push(MachineFailure {
+                            machine: id,
+                            payload,
+                        }),
+                    }
                 }
+            });
+        }
+
+        if !failures.is_empty() {
+            let is_peer_abort = |fail: &MachineFailure| {
+                matches!(
+                    fail.payload.downcast_ref::<InjectedFailure>(),
+                    Some(InjectedFailure::PeerAborted)
+                )
+            };
+            let peer_aborts = failures.iter().filter(|fl| is_peer_abort(fl)).count();
+            // Primary = first real failure in machine order; sympathetic
+            // aborts only ever lead if nothing else unwound with a payload.
+            let idx = failures
+                .iter()
+                .position(|fl| !is_peer_abort(fl))
+                .unwrap_or(0);
+            let primary = failures.swap_remove(idx);
+            let residual = checker::ENABLED.then(|| fabric_checker.residual());
+            return Err(FailedRun {
+                primary,
+                peer_aborts,
+                residual,
             });
         }
 
@@ -210,7 +355,7 @@ impl Cluster {
             fabric_checker.check_quiescent("fabric teardown", None);
         }
 
-        RunReport {
+        Ok(RunReport {
             results: results.into_iter().map(|r| r.expect("missing result")).collect(),
             comm: stats.summary(),
             steps: StepReport {
@@ -218,8 +363,21 @@ impl Cluster {
             },
             wall_time: start.elapsed(),
             trace: collector.map(|c| c.collect()),
-        }
+        })
     }
+}
+
+/// One machine's caught unwind.
+struct MachineFailure {
+    machine: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Everything [`Cluster::run_inner`] knows about a failed run.
+struct FailedRun {
+    primary: MachineFailure,
+    peer_aborts: usize,
+    residual: Option<crate::checker::ResidualReport>,
 }
 
 #[cfg(test)]

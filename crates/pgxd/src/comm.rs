@@ -14,6 +14,7 @@
 //! machines run ahead; a per-machine mailbox holds early arrivals.
 
 use crate::checker::ProtocolChecker;
+use crate::fault::{ClusterBarrier, FaultInjector, InjectedFailure};
 use crate::metrics::SharedCommStats;
 use crate::trace::{EventKind, MachineTrace};
 use crossbeam::channel::{Receiver, Sender};
@@ -21,7 +22,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Message tag: `(kind, sequence)`. Collectives derive these; user code
 /// can use [`Tag::user`]. Ordered so diagnostics can list tags
@@ -91,6 +92,9 @@ pub struct CommSender {
     /// This machine's trace sink; `None` (one branch per send) when the
     /// run is untraced.
     trace: Option<Arc<MachineTrace>>,
+    /// The run's fault plane; `None` (one branch per send) when no
+    /// [`FaultPlan`](crate::fault::FaultPlan) is armed.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl CommSender {
@@ -142,13 +146,51 @@ impl CommSender {
         data: Vec<T>,
     ) {
         let wire_bytes = std::mem::size_of::<T>() * data.len() + std::mem::size_of::<usize>();
+        let payload: Box<dyn Any + Send> = Box::new((offset, data));
+        if let Some(f) = &self.fault {
+            let seq = f.next_chunk_seq(self.id, dst);
+            if let Some(delay) = f.chunk_send_delay(self.id, dst, seq, wire_bytes) {
+                std::thread::sleep(delay);
+            }
+            if f.should_drop_chunk(self.id, dst, seq) {
+                // Drop-with-redelivery: park this chunk (its first delivery
+                // attempt is "lost"); the stream's previously parked chunk,
+                // if any, goes out now in its place, so at most one chunk
+                // per stream is ever outstanding and every chunk is
+                // eventually delivered — behind later traffic. The §IV-C
+                // offset addressing must absorb the reordering.
+                if let Some(prev) = f.park_chunk(self.id, dst, tag, wire_bytes, payload) {
+                    self.send_chunk_packet(dst, tag, prev.wire_bytes, prev.payload);
+                }
+                return;
+            }
+        }
+        self.send_chunk_packet(dst, tag, wire_bytes, payload);
+    }
+
+    /// Re-sends the stream's parked chunk, if the fault plane held one
+    /// back. The exchange calls this after a stream's final flush so
+    /// drop-with-redelivery can never strand a chunk. One branch when no
+    /// plan is armed.
+    pub fn flush_held_chunks(&self, dst: usize, tag: Tag) {
+        if let Some(f) = &self.fault {
+            if let Some(held) = f.take_held(self.id, dst, tag) {
+                self.send_chunk_packet(dst, tag, held.wire_bytes, held.payload);
+            }
+        }
+    }
+
+    /// The single exit point for exchange chunks: stats and trace are
+    /// recorded here, at the moment the chunk actually enters the fabric,
+    /// so a parked-then-redelivered chunk is accounted exactly once.
+    fn send_chunk_packet(&self, dst: usize, tag: Tag, wire_bytes: usize, payload: Box<dyn Any + Send>) {
         self.stats.exchange.record_chunk_sent();
         if let Some(t) = &self.trace {
             // Lane 1 + dst keeps each destination's send stream on its own
             // timeline row (and off the mainline lane).
             t.instant(1 + dst as u32, EventKind::ChunkSend, dst as u64, wire_bytes as u64);
         }
-        self.send_packet(dst, tag, wire_bytes, Box::new((offset, data)));
+        self.send_packet(dst, tag, wire_bytes, payload);
     }
 
     /// Sends a shared (refcounted) `Vec<T>` to `dst`. The collectives use
@@ -176,18 +218,38 @@ impl CommSender {
     // analyze: allow(panic-surface): dst is a machine id < p and a dropped
     // fabric receiver means a peer died mid-step — crash, don't hang.
     fn send_packet(&self, dst: usize, tag: Tag, wire_bytes: usize, payload: Box<dyn Any + Send>) {
+        // Once any machine has failed, the run is unwinding: drop the
+        // packet on the floor instead of racing the victim's receiver
+        // teardown (and never let a worker task's send panic usurp the
+        // primary failure). The checker's abort flag covers plain panics
+        // (set by `MachineCtx`'s drop guard before the victim's receiver
+        // goes away); the injector's covers plan-driven kills/timeouts.
+        if self.checker.aborted() {
+            return;
+        }
+        if let Some(f) = &self.fault {
+            if f.is_aborted() {
+                return;
+            }
+        }
         if dst != self.id {
             self.stats.record_packet(wire_bytes, dst);
         }
         self.checker.packet_sent(self.id, dst, tag);
-        self.links[dst]
-            .send(Packet {
-                src: self.id,
-                tag,
-                wire_bytes,
-                payload,
-            })
-            .expect("fabric receiver dropped — machine exited early");
+        let sent = self.links[dst].send(Packet {
+            src: self.id,
+            tag,
+            wire_bytes,
+            payload,
+        });
+        if sent.is_err() && self.fault.is_none() && !self.checker.aborted() {
+            // A send error with no abort in flight is a protocol bug (a
+            // machine returned while peers still address it), not a fault
+            // injection: keep the loud crash. When the abort flag is up the
+            // receiver's teardown is expected; the caller unwinds via its
+            // next controlled receive or barrier wait instead.
+            panic!("fabric receiver dropped — machine exited early");
+        }
     }
 }
 
@@ -198,12 +260,29 @@ pub struct CommManager {
     inbox: Receiver<Packet>,
     /// Early arrivals parked until something asks for their tag.
     mailbox: HashMap<Tag, VecDeque<Packet>>,
+    /// The run's abort/timeout control plane (the cluster barrier);
+    /// `None` for standalone fabrics, which keep the legacy blocking
+    /// receive.
+    control: Option<Arc<ClusterBarrier>>,
+    /// Mailbox drain counter (the event index mailbox-reorder decisions
+    /// derive from).
+    recv_seq: u64,
 }
 
 impl CommManager {
     /// Wires up a full fabric for `p` machines, returning one manager per
     /// machine.
     pub fn fabric(p: usize, stats: SharedCommStats) -> Vec<CommManager> {
+        Self::fabric_with_faults(p, stats, None)
+    }
+
+    /// [`CommManager::fabric`], with the run's fault plane attached to
+    /// every sender (pass `None` for a fault-free fabric).
+    pub fn fabric_with_faults(
+        p: usize,
+        stats: SharedCommStats,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> Vec<CommManager> {
         let checker = Arc::new(ProtocolChecker::new(p));
         let mut txs = Vec::with_capacity(p);
         let mut rxs = Vec::with_capacity(p);
@@ -221,9 +300,12 @@ impl CommManager {
                     stats: stats.clone(),
                     checker: checker.clone(),
                     trace: None,
+                    fault: fault.clone(),
                 },
                 inbox,
                 mailbox: HashMap::new(),
+                control: None,
+                recv_seq: 0,
             })
             .collect()
     }
@@ -238,6 +320,19 @@ impl CommManager {
     /// the sink); [`MachineCtx::new`](crate::machine::MachineCtx) does so.
     pub(crate) fn set_trace(&mut self, trace: Arc<MachineTrace>) {
         self.sender.trace = Some(trace);
+    }
+
+    /// Attaches the run's control plane (the cluster barrier), arming the
+    /// abort-aware, timeout-bounded receive path.
+    /// [`MachineCtx::new`](crate::machine::MachineCtx) does so for cluster
+    /// runs; standalone fabrics stay on the legacy path.
+    pub(crate) fn set_control(&mut self, control: Arc<ClusterBarrier>) {
+        self.control = Some(control);
+    }
+
+    /// The run's fault plane, if a plan is armed.
+    pub(crate) fn fault(&self) -> Option<&Arc<FaultInjector>> {
+        self.sender.fault.as_ref()
     }
 
     /// Records a packet being handed to its consumer (checker bookkeeping;
@@ -273,13 +368,48 @@ impl CommManager {
         self.sender.send_value(dst, tag, value)
     }
 
+    /// Takes one parked packet with `tag` from the mailbox. FIFO, unless
+    /// the fault plane reorders the drain of a multi-entry queue.
+    fn take_parked(&mut self, tag: Tag) -> Option<Packet> {
+        let len = self.mailbox.get(&tag).map_or(0, |q| q.len());
+        if len == 0 {
+            return None;
+        }
+        let pick = match &self.sender.fault {
+            Some(f) if len > 1 => {
+                let seq = self.recv_seq;
+                self.recv_seq += 1;
+                f.mailbox_pick(self.sender.id, len, seq)
+            }
+            _ => 0,
+        };
+        self.mailbox.get_mut(&tag).and_then(|q| q.remove(pick))
+    }
+
     /// Receives the next packet with `tag` from any source, blocking.
-    /// Panics after two minutes (protocol bug guard).
+    /// Panics after two minutes (protocol bug guard); in a cluster run
+    /// with an armed [`FaultPlan`](crate::fault::FaultPlan), the plan's
+    /// `step_timeout` applies instead and elapses into a structured abort
+    /// rather than a plain panic.
     pub fn recv_packet(&mut self, tag: Tag) -> Packet {
-        if let Some(pkt) = self.mailbox.get_mut(&tag).and_then(|q| q.pop_front()) {
+        if let Some(f) = self.sender.fault.clone() {
+            // Mainline fault point: the plan's kill fires here.
+            f.fault_point(self.sender.id);
+        }
+        if let Some(pkt) = self.take_parked(tag) {
             self.note_delivered(&pkt);
             return pkt;
         }
+        match self.control.clone() {
+            None => self.recv_packet_legacy(tag),
+            Some(ctrl) => self.recv_packet_controlled(tag, ctrl),
+        }
+    }
+
+    // analyze: allow(panic-surface): a two-minute starved receive means the
+    // SPMD protocol is broken (mismatched collective order) — crash with
+    // the mailbox contents, don't hang.
+    fn recv_packet_legacy(&mut self, tag: Tag) -> Packet {
         loop {
             let pkt = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
                 let mut parked: Vec<Tag> = self
@@ -303,9 +433,56 @@ impl CommManager {
         }
     }
 
+    /// The abort-aware receive of a cluster run: polls in short slices so
+    /// a peer's failure unwinds this machine promptly, and bounds the
+    /// total wait by the plan's `step_timeout` (legacy two minutes
+    /// otherwise). A timeout aborts the whole run and panics with a typed
+    /// [`InjectedFailure::Timeout`] payload, which
+    /// [`Cluster::try_run`](crate::cluster::Cluster::try_run) converts
+    /// into a structured error.
+    fn recv_packet_controlled(&mut self, tag: Tag, ctrl: Arc<ClusterBarrier>) -> Packet {
+        let timeout = self
+            .sender
+            .fault
+            .as_ref()
+            .and_then(|f| f.recv_timeout())
+            .unwrap_or(RECV_TIMEOUT);
+        let deadline = Instant::now() + timeout;
+        let slice = (timeout / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
+        loop {
+            if ctrl.is_aborted() {
+                std::panic::panic_any(InjectedFailure::PeerAborted);
+            }
+            match self.inbox.recv_timeout(slice) {
+                Ok(pkt) => {
+                    if pkt.tag == tag {
+                        self.note_delivered(&pkt);
+                        return pkt;
+                    }
+                    self.mailbox.entry(pkt.tag).or_default().push_back(pkt);
+                }
+                Err(_) => {
+                    if Instant::now() >= deadline {
+                        // This machine is starved past the step budget: a
+                        // peer died or stalled. Abort the run (waking every
+                        // barrier waiter), disarm the quiescence checks
+                        // (an aborted run legitimately strands custody),
+                        // and unwind with a typed payload.
+                        ctrl.abort();
+                        self.sender.checker.set_aborted();
+                        std::panic::panic_any(InjectedFailure::Timeout {
+                            machine: self.sender.id,
+                            context: format!("waiting for tag {tag:?}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Non-blocking receive of any already-delivered packet with `tag`.
     pub fn try_recv_packet(&mut self, tag: Tag) -> Option<Packet> {
-        if let Some(pkt) = self.mailbox.get_mut(&tag).and_then(|q| q.pop_front()) {
+        if let Some(pkt) = self.take_parked(tag) {
             self.note_delivered(&pkt);
             return Some(pkt);
         }

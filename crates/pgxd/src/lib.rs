@@ -45,6 +45,13 @@
 //!   merged on a unified clock and exported as Chrome `trace_event` JSON
 //!   (Perfetto / `chrome://tracing`) plus derived views. Off by default;
 //!   disabled runs pay ~one branch per event site.
+//! - [`fault`] — an opt-in deterministic fault-injection plane: a seeded
+//!   [`fault::FaultPlan`] on [`cluster::ClusterConfig`] arms per-chunk
+//!   delays/jitter, mailbox reordering, bounded drop-with-redelivery,
+//!   straggler workers, step pauses, mid-step machine kills, and a
+//!   per-step timeout that converts a hung run into a structured
+//!   [`fault::RunError`] via [`cluster::Cluster::try_run`]. Off by
+//!   default; disabled runs pay ~one branch per fault site.
 //! - `cargo xtask lint` — a workspace lint walks the source and confines
 //!   `unsafe` to an allowlist (`pgxd::machine`, `pgxd::pool`, `memtrack`),
 //!   requires `// SAFETY:` on every unsafe block, and bans raw
@@ -70,6 +77,7 @@ pub mod checker;
 pub mod cluster;
 pub mod comm;
 pub mod csr;
+pub mod fault;
 pub mod machine;
 pub mod metrics;
 pub mod net;
@@ -79,7 +87,9 @@ pub mod sync;
 pub mod task;
 pub mod trace;
 
+pub use checker::ResidualReport;
 pub use cluster::{Cluster, ClusterConfig, RunReport};
+pub use fault::{FaultPlan, RunError, RunErrorKind};
 pub use machine::MachineCtx;
 pub use metrics::{CommSummary, ExchangeSummary, StepReport};
 pub use pool::ChunkPool;

@@ -9,12 +9,13 @@
 use crate::buffer::RequestBuffer;
 use crate::checker;
 use crate::comm::{kinds, CommManager, Tag};
+use crate::fault::{BarrierWait, ClusterBarrier, FaultInjector, InjectedFailure};
 use crate::metrics::{CommSummary, SharedCommStats, StepTimer};
 use crate::pool::ChunkPool;
 use crate::task::{self, TaskManager};
 use crate::trace::{EventKind, MachineTrace, LANE_MAIN};
 use std::mem::{ManuallyDrop, MaybeUninit};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// The master machine's id (the paper's "Master" is processor 0).
 pub const MASTER: usize = 0;
@@ -26,9 +27,12 @@ pub struct MachineCtx {
     comm: CommManager,
     task: TaskManager,
     timer: StepTimer,
-    barrier: Arc<Barrier>,
+    barrier: Arc<ClusterBarrier>,
     buffer_bytes: usize,
     stats: SharedCommStats,
+    /// The run's fault plane; `None` (one branch per site) when no
+    /// [`FaultPlan`](crate::fault::FaultPlan) is armed.
+    fault: Option<Arc<FaultInjector>>,
     /// Recycled chunk backing stores for the exchange pipeline, shared
     /// between this machine's receive thread and its send workers.
     pool: Arc<ChunkPool>,
@@ -38,11 +42,27 @@ pub struct MachineCtx {
     collective_seq: u64,
 }
 
+impl Drop for MachineCtx {
+    /// Publishes this machine's failure *before* its fabric receiver is
+    /// torn down. `Drop` on the struct runs ahead of the field drops, so
+    /// when this machine is unwinding, the abort flag and barrier wake-up
+    /// become visible to peers before their sends to the now-dead inbox
+    /// start erroring — otherwise a survivor mid-send would panic on the
+    /// dropped receiver and masquerade as a failure of its own, instead
+    /// of unwinding as [`InjectedFailure::PeerAborted`].
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.comm.checker().set_aborted();
+            self.barrier.abort();
+        }
+    }
+}
+
 impl MachineCtx {
     pub(crate) fn new(
         mut comm: CommManager,
         task: TaskManager,
-        barrier: Arc<Barrier>,
+        barrier: Arc<ClusterBarrier>,
         buffer_bytes: usize,
         stats: SharedCommStats,
         trace: Option<Arc<MachineTrace>>,
@@ -55,6 +75,9 @@ impl MachineCtx {
             comm.set_trace(t.clone());
             comm.checker().attach_trace(comm.id(), t.clone());
         }
+        // Receives must observe peer aborts and the plan's step timeout.
+        comm.set_control(barrier.clone());
+        let fault = comm.fault().cloned();
         let pool = Arc::new(pool);
         MachineCtx {
             id: comm.id(),
@@ -66,6 +89,7 @@ impl MachineCtx {
             buffer_bytes,
             pool,
             stats,
+            fault,
             trace,
             collective_seq: 0,
         }
@@ -117,6 +141,10 @@ impl MachineCtx {
     /// six §IV steps appear as Gantt rows without the algorithm layer
     /// knowing about tracing.
     pub fn step<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        if let Some(f) = &self.fault {
+            // Pause/resume at the step boundary (straggler machines).
+            f.step_pause(self.id);
+        }
         let pre = self.trace.as_ref().map(|t| (t.intern(name), t.now_ns()));
         let start = std::time::Instant::now();
         let out = f(self);
@@ -168,15 +196,33 @@ impl MachineCtx {
             .trace
             .as_ref()
             .map(|t| (t.now_ns(), t.next_barrier_index()));
-        self.barrier.wait();
+        self.wait_or_unwind();
         if checker::ENABLED {
             self.comm.checker().check_quiescent("barrier", Some(self.id));
-            self.barrier.wait();
+            self.wait_or_unwind();
         }
         if let Some((t0, index)) = pre {
             if let Some(t) = &self.trace {
                 t.span_since(LANE_MAIN, EventKind::Barrier, t0, index, 0);
             }
+        }
+    }
+
+    /// One abortable barrier wait. A peer's failure (or this machine's own
+    /// step timeout) unwinds with a typed payload instead of deadlocking
+    /// the cluster; [`Cluster::try_run`](crate::cluster::Cluster::try_run)
+    /// converts the payload into a structured [`RunError`](crate::fault::RunError).
+    // analyze: allow(panic-surface): the only way out of a barrier whose
+    // peers are dead is to unwind; the typed payload keeps the failure
+    // attributable.
+    fn wait_or_unwind(&self) {
+        match self.barrier.wait() {
+            BarrierWait::Released => {}
+            BarrierWait::Aborted => std::panic::panic_any(InjectedFailure::PeerAborted),
+            BarrierWait::TimedOut => std::panic::panic_any(InjectedFailure::Timeout {
+                machine: self.id,
+                context: "at barrier".to_string(),
+            }),
         }
     }
 
@@ -397,7 +443,7 @@ impl MachineCtx {
 
         let expected_remote = total - (matrix[self.id][self.id] as usize);
         let sender = self.comm.sender();
-        let task = self.task;
+        let task = self.task.clone();
         let buffer_bytes = self.buffer_bytes;
         let (id, p) = (self.id, self.p);
 
@@ -427,6 +473,10 @@ impl MachineCtx {
                         RequestBuffer::with_pool(dst, data_tag, buffer_bytes, base, pool);
                     buf.push_slice(slice, &sender);
                     buf.finish(&sender);
+                    // Fault plans may have parked a chunk of this stream
+                    // (drop-with-redelivery); the stream is over, so force
+                    // it out. No-op without a plan.
+                    sender.flush_held_chunks(dst, data_tag);
                 }),
             ));
         }
@@ -558,6 +608,8 @@ impl MachineCtx {
                     RequestBuffer::new(dst, data_tag, self.buffer_bytes, my_base_at[dst]);
                 buf.push_slice(slice, &sender);
                 buf.flush(&sender);
+                // Redeliver any chunk a fault plan parked for this stream.
+                sender.flush_held_chunks(dst, data_tag);
             }
             while let Some(pkt) = self.comm.try_recv_packet(data_tag) {
                 let (offset, chunk) = pkt.into_value::<(usize, Vec<T>)>();

@@ -48,6 +48,17 @@ impl NetworkModel {
         let transfer = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec);
         self.latency * (packets as u32) + transfer
     }
+
+    /// [`packet_time`](NetworkModel::packet_time) scaled by a
+    /// deterministic jitter factor in `[0.5, 1.5)` derived from `salt`
+    /// (hashed with [`crate::fault::mix64`]). The fault plane uses this to
+    /// make injected chunk delays track the modeled wire time of the
+    /// chunk — big chunks jitter by more — while staying replayable from
+    /// a seed.
+    pub fn jittered_packet_time(&self, bytes: usize, salt: u64) -> Duration {
+        let factor = 0.5 + (crate::fault::mix64(salt) % 1024) as f64 / 1024.0;
+        self.packet_time(bytes).mul_f64(factor)
+    }
 }
 
 impl Default for NetworkModel {
@@ -84,6 +95,23 @@ mod tests {
         let many = net.stream_time(100, 1 << 20);
         assert!(many > one);
         assert_eq!(many - one, net.latency * 99);
+    }
+
+    #[test]
+    fn jittered_packet_time_is_deterministic_and_bounded() {
+        let net = NetworkModel::infiniband_56g();
+        for salt in 0..256u64 {
+            let base = net.packet_time(1 << 20);
+            let jittered = net.jittered_packet_time(1 << 20, salt);
+            assert_eq!(jittered, net.jittered_packet_time(1 << 20, salt));
+            assert!(jittered >= base.mul_f64(0.5));
+            assert!(jittered < base.mul_f64(1.5));
+        }
+        // Different salts actually spread.
+        assert!(
+            net.jittered_packet_time(1 << 20, 1) != net.jittered_packet_time(1 << 20, 2)
+                || net.jittered_packet_time(1 << 20, 1) != net.jittered_packet_time(1 << 20, 3)
+        );
     }
 
     #[test]

@@ -23,10 +23,12 @@
 //!   `std::sync::atomic` — they are monotonic statistics with `Relaxed`
 //!   ordering that never gate control flow, and keeping them invisible to
 //!   loom keeps the model state space tractable.
-//! - The fabric channels ([`comm`](crate::comm)) are crossbeam channels
-//!   and `std::sync::Barrier`; loom cannot model them, so the loom tests
-//!   exercise a miniature queue-based fabric built from this module's
-//!   `Mutex`/`Condvar` instead (`tests/loom_exchange.rs`).
+//! - The fabric channels ([`comm`](crate::comm)) are crossbeam channels;
+//!   loom cannot model them, so the loom tests exercise a miniature
+//!   queue-based fabric built from this module's `Mutex`/`Condvar`
+//!   instead (`tests/loom_exchange.rs`). The cluster barrier
+//!   ([`ClusterBarrier`](crate::fault::ClusterBarrier)) is built on this
+//!   module's primitives directly.
 //!
 //! [loom]: https://docs.rs/loom
 
@@ -137,6 +139,31 @@ impl Condvar {
         }
     }
 
+    /// Blocks on `guard` until notified or `timeout` elapses, reacquiring
+    /// the lock on wake. Returns the guard and whether the wait timed out.
+    ///
+    /// Under loom this degrades to an untimed [`Condvar::wait`] that never
+    /// reports a timeout: loom has no time model, and the only caller
+    /// (the cluster barrier's fault-plan step timeout) is not exercised by
+    /// the loom suites.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        #[cfg(not(loom))]
+        {
+            let mut guard = guard;
+            let result = self.inner.wait_for(&mut guard, timeout);
+            (guard, result.timed_out())
+        }
+        #[cfg(loom)]
+        {
+            let _ = timeout;
+            (self.inner.wait(guard).unwrap(), false)
+        }
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one()
@@ -179,5 +206,14 @@ mod tests {
             guard = cv.wait(guard);
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_guard, timed_out) =
+            cv.wait_for(m.lock(), std::time::Duration::from_millis(10));
+        assert!(timed_out);
     }
 }

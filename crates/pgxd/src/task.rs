@@ -13,6 +13,7 @@
 //! is scoped (joined before the parallel step returns) and visible to the
 //! verification tooling.
 
+use crate::fault::FaultInjector;
 use crate::trace::{EventKind, MachineTrace};
 use crossbeam::channel;
 use std::sync::Arc;
@@ -21,9 +22,14 @@ use std::sync::Arc;
 /// scoped to each [`TaskManager::run_tasks`] call, which both keeps the
 /// implementation entirely safe and models the paper's "a list of tasks
 /// is created at the beginning of each parallel step".
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TaskManager {
     workers: usize,
+    /// Machine this pool belongs to (fault-plane addressing only).
+    machine: usize,
+    /// The run's fault plane; `None` (one branch per task pickup) when no
+    /// [`FaultPlan`](crate::fault::FaultPlan) is armed.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl TaskManager {
@@ -31,12 +37,36 @@ impl TaskManager {
     pub fn new(workers: usize) -> Self {
         TaskManager {
             workers: workers.max(1),
+            machine: 0,
+            fault: None,
+        }
+    }
+
+    /// A task manager whose task pickups pass through the run's fault
+    /// plane (straggler injection on the designated machine).
+    pub(crate) fn with_fault(
+        workers: usize,
+        machine: usize,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        TaskManager {
+            workers: workers.max(1),
+            machine,
+            fault,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The straggler fault point: every task pickup on this machine passes
+    /// through here. One branch when no plan is armed.
+    fn before_pickup(&self) {
+        if let Some(f) = &self.fault {
+            f.worker_pickup(self.machine);
+        }
     }
 
     /// Executes every task on the worker pool and waits for completion.
@@ -48,6 +78,7 @@ impl TaskManager {
         let workers = self.workers.min(tasks.len());
         if workers == 1 {
             for t in tasks {
+                self.before_pickup();
                 t();
             }
             return;
@@ -62,6 +93,7 @@ impl TaskManager {
                 let rx = rx.clone();
                 scope.spawn(move || {
                     while let Ok(task) = rx.recv() {
+                        self.before_pickup();
                         task();
                     }
                 });
@@ -99,6 +131,7 @@ impl TaskManager {
                 let rx = rx.clone();
                 scope.spawn(move || {
                     while let Ok(task) = rx.recv() {
+                        self.before_pickup();
                         task();
                     }
                 });

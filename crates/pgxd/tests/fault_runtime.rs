@@ -1,0 +1,220 @@
+//! Integration tests for the deterministic fault-injection plane.
+//!
+//! These exercise the runtime alone (no datagen / sorter): the
+//! offset-addressed exchange must stay exactly correct under every fault
+//! preset, the same seed must replay the same schedule, a killed machine
+//! must surface as a structured [`RunError`] from [`Cluster::try_run`]
+//! (never a hang), and a disabled plan must change nothing.
+
+use std::time::{Duration, Instant};
+
+use pgxd::cluster::{Cluster, ClusterConfig, RunReport};
+use pgxd::fault::FaultPlan;
+use pgxd::RunErrorKind;
+
+/// Deterministic per-machine shards: sorted runs, uneven lengths.
+fn shards(p: usize) -> Vec<Vec<u64>> {
+    (0..p)
+        .map(|m| (0..(m * 53 + 211) as u64).map(|i| i * 3 + m as u64).collect())
+        .collect()
+}
+
+/// Runs one offset-addressed exchange under `plan` and returns the report.
+/// Small buffers force many chunks so per-chunk faults actually fire.
+fn exchange_under(plan: FaultPlan) -> RunReport<(Vec<u64>, Vec<usize>)> {
+    let p = 4;
+    let shards = shards(p);
+    let cluster = Cluster::new(
+        ClusterConfig::new(p)
+            .workers_per_machine(2)
+            .buffer_bytes(64)
+            .fault(plan),
+    );
+    let shards_ref = &shards;
+    cluster.run(|ctx| {
+        let data = shards_ref[ctx.id()].clone();
+        // Even cuts; the last machine takes the remainder.
+        let per = data.len() / ctx.num_machines();
+        let mut offsets: Vec<usize> = (0..ctx.num_machines()).map(|d| d * per).collect();
+        offsets.push(data.len());
+        ctx.exchange_by_offsets(&data, &offsets)
+    })
+}
+
+/// The exchange invariants that must hold under any non-killing plan:
+/// global multiset preserved, per-source runs contiguous and sorted.
+fn assert_exchange_exact(report: &RunReport<(Vec<u64>, Vec<usize>)>, p: usize) {
+    let mut received: Vec<u64> = report.results.iter().flat_map(|(out, _)| out.clone()).collect();
+    let mut sent: Vec<u64> = shards(p).concat();
+    received.sort_unstable();
+    sent.sort_unstable();
+    assert_eq!(received, sent, "global multiset changed under faults");
+    for (out, bounds) in &report.results {
+        assert_eq!(bounds.len(), p + 1);
+        assert_eq!(*bounds.last().unwrap(), out.len());
+        for w in bounds.windows(2) {
+            let run = &out[w[0]..w[1]];
+            assert!(run.windows(2).all(|x| x[0] <= x[1]), "source run reordered");
+        }
+    }
+}
+
+#[test]
+fn exchange_exact_under_every_preset() {
+    for (name, plan) in [
+        ("delays", FaultPlan::delays(7)),
+        ("reorders", FaultPlan::reorders(7)),
+        ("drops", FaultPlan::drops(7)),
+        ("straggler", FaultPlan::straggler(7, 1)),
+        ("chaos", FaultPlan::chaos(7)),
+    ] {
+        let report = exchange_under(plan);
+        assert_exchange_exact(&report, 4);
+        assert!(plan.is_armed(), "{name} preset should be armed");
+    }
+}
+
+#[test]
+fn same_seed_same_schedule_same_outputs() {
+    // The determinism contract: every fault decision derives from
+    // (seed, site, stream, seq), so two runs of the same plan must
+    // produce identical outputs AND identical traffic accounting.
+    for seed in [1u64, 42, 0xdead_beef] {
+        let a = exchange_under(FaultPlan::chaos(seed));
+        let b = exchange_under(FaultPlan::chaos(seed));
+        assert_eq!(a.results, b.results, "seed {seed}: outputs diverged");
+        assert_eq!(
+            a.comm.exchange.chunks_sent, b.comm.exchange.chunks_sent,
+            "seed {seed}: chunk schedule diverged"
+        );
+        assert_eq!(a.comm.bytes_sent, b.comm.bytes_sent);
+        assert_eq!(a.comm.messages_sent, b.comm.messages_sent);
+    }
+}
+
+#[test]
+fn drops_do_not_change_chunk_totals() {
+    // Drop-with-redelivery parks chunks and flushes them at stream end;
+    // accounting happens at the actual send, so totals match a fault-free
+    // run — nothing is ever lost or double-counted.
+    let clean = exchange_under(FaultPlan::disabled());
+    let dropped = exchange_under(FaultPlan::enabled(9).drop_chunks(500, 64));
+    assert_eq!(clean.comm.exchange.chunks_sent, dropped.comm.exchange.chunks_sent);
+    assert_eq!(clean.comm.bytes_sent, dropped.comm.bytes_sent);
+}
+
+#[test]
+fn disabled_plan_is_identical_to_no_plan() {
+    let p = 3;
+    let shards = shards(p);
+    let run = |cfg: ClusterConfig| {
+        let shards_ref = &shards;
+        Cluster::new(cfg).run(|ctx| {
+            let data = shards_ref[ctx.id()].clone();
+            let n = data.len();
+            let offsets: Vec<usize> =
+                (0..=ctx.num_machines()).map(|d| d * n / ctx.num_machines()).collect();
+            ctx.exchange_by_offsets(&data, &offsets)
+        })
+    };
+    let plain = run(ClusterConfig::new(p).buffer_bytes(64));
+    let explicit = run(ClusterConfig::new(p).buffer_bytes(64).fault(FaultPlan::disabled()));
+    assert_eq!(plain.results, explicit.results);
+    assert_eq!(plain.comm.exchange.chunks_sent, explicit.comm.exchange.chunks_sent);
+    assert_eq!(plain.comm.bytes_sent, explicit.comm.bytes_sent);
+}
+
+#[test]
+fn killed_machine_yields_structured_error_within_timeout() {
+    let p = 4;
+    let shards = shards(p);
+    let plan = FaultPlan::enabled(3)
+        .kill(1, 2)
+        .step_timeout(Duration::from_secs(5));
+    let cluster = Cluster::new(ClusterConfig::new(p).buffer_bytes(64).fault(plan));
+    let shards_ref = &shards;
+    let started = Instant::now();
+    let err = cluster
+        .try_run(|ctx| {
+            let data = shards_ref[ctx.id()].clone();
+            let n = data.len();
+            let offsets: Vec<usize> =
+                (0..=ctx.num_machines()).map(|d| d * n / ctx.num_machines()).collect();
+            ctx.exchange_by_offsets(&data, &offsets)
+        })
+        .expect_err("kill plan must fail the run");
+    let elapsed = started.elapsed();
+    assert_eq!(err.kind, RunErrorKind::InjectedKill);
+    assert_eq!(err.machine, Some(1));
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "survivors must unwind promptly, took {elapsed:?}"
+    );
+    // Survivors that die sympathetically are reported, not counted as the
+    // primary failure.
+    assert!(err.peer_aborts < p);
+    if cfg!(debug_assertions) {
+        // Checker stands down on abort but reports what was stranded.
+        assert!(err.residual.is_some());
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("killed machine 1"), "unexpected message: {msg}");
+}
+
+#[test]
+fn hung_barrier_converts_to_step_timeout_error() {
+    // Machine 0 never arrives at the barrier; the configured step timeout
+    // must convert the hang into a structured error, fast.
+    let plan = FaultPlan::enabled(5).step_timeout(Duration::from_millis(300));
+    let cluster = Cluster::new(ClusterConfig::new(3).fault(plan));
+    let started = Instant::now();
+    let err = cluster
+        .try_run(|ctx| {
+            if ctx.id() != 0 {
+                ctx.barrier();
+            }
+            ctx.id()
+        })
+        .expect_err("missing machine must time the barrier out");
+    assert_eq!(err.kind, RunErrorKind::StepTimeout);
+    assert!(err.machine.is_some());
+    assert_ne!(err.machine, Some(0), "machine 0 exited cleanly");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "timeout must fire near the configured bound"
+    );
+    assert!(err.to_string().contains("step timeout"), "{err}");
+}
+
+#[test]
+fn try_run_ok_on_clean_runs() {
+    let cluster = Cluster::new(ClusterConfig::new(3).fault(FaultPlan::delays(11)));
+    let report = cluster
+        .try_run(|ctx| {
+            let rows = ctx.gather_to_master(vec![ctx.id() as u64]);
+            ctx.barrier();
+            rows.map(|r| r.concat().iter().sum::<u64>())
+        })
+        .expect("benign plan must not fail the run");
+    assert_eq!(report.results[0], Some(3));
+}
+
+#[test]
+fn collectives_survive_chaos() {
+    // The fault plane hooks recv_packet, so every collective sees it.
+    let plan = FaultPlan::chaos(21);
+    let cluster = Cluster::new(ClusterConfig::new(5).workers_per_machine(2).fault(plan));
+    let report = cluster.run(|ctx| {
+        let parts: Vec<Vec<u64>> = (0..ctx.num_machines())
+            .map(|dst| vec![(ctx.id() * 100 + dst) as u64; 7])
+            .collect();
+        let got = ctx.all_to_all(parts);
+        ctx.barrier();
+        got
+    });
+    for (dst, received) in report.results.iter().enumerate() {
+        for (src, block) in received.iter().enumerate() {
+            assert_eq!(block, &vec![(src * 100 + dst) as u64; 7], "src={src} dst={dst}");
+        }
+    }
+}

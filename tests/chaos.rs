@@ -1,0 +1,208 @@
+//! Chaos harness: the full distributed sort under the deterministic
+//! fault-injection plane, across adversarial key distributions.
+//!
+//! Every cell of the plan × distribution matrix must produce exactly the
+//! flat-sorted reference — faults may slow a run down or reorder its
+//! mailbox, never corrupt it. Runs are seeded end to end: any failing cell
+//! replays bit-identically from its `(plan seed, data seed)` pair. Clean
+//! completion also implies protocol-checker quiescence (in debug builds
+//! teardown panics on undelivered packets or leaked chunks).
+
+use std::time::{Duration, Instant};
+
+use pgxd::cluster::{Cluster, ClusterConfig};
+use pgxd::fault::FaultPlan;
+use pgxd::trace::EventKind;
+use pgxd::{RunErrorKind, TraceConfig};
+use pgxd_core::DistSorter;
+use pgxd_datagen::{generate_partitioned, partition_even, Distribution};
+
+const MACHINES: usize = 4;
+const N: usize = 6_000;
+
+/// The adversarial input set: the two new chaos distributions plus the
+/// classic pathological orders and a uniform control.
+fn inputs(data_seed: u64) -> Vec<(&'static str, Vec<Vec<u64>>)> {
+    let presorted: Vec<u64> = (0..N as u64).map(|i| i * 7).collect();
+    let reversed: Vec<u64> = (0..N as u64).rev().map(|i| i * 7).collect();
+    vec![
+        (
+            "skew-storm",
+            generate_partitioned(Distribution::skew_storm(0.85), N, MACHINES, data_seed),
+        ),
+        (
+            "duplicate-heavy",
+            generate_partitioned(Distribution::duplicate_heavy(16), N, MACHINES, data_seed),
+        ),
+        ("pre-sorted", partition_even(&presorted, MACHINES)),
+        ("reverse", partition_even(&reversed, MACHINES)),
+        (
+            "uniform",
+            generate_partitioned(Distribution::Uniform, N, MACHINES, data_seed),
+        ),
+    ]
+}
+
+fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("delays", FaultPlan::delays(seed)),
+        ("reorders", FaultPlan::reorders(seed)),
+        ("drops", FaultPlan::drops(seed)),
+        ("straggler", FaultPlan::straggler(seed, 1)),
+        ("chaos", FaultPlan::chaos(seed)),
+    ]
+}
+
+fn flat_sorted(parts: &[Vec<u64>]) -> Vec<u64> {
+    let mut all: Vec<u64> = parts.concat();
+    all.sort_unstable();
+    all
+}
+
+fn sort_under(plan: FaultPlan, parts: &[Vec<u64>]) -> Vec<u64> {
+    let cluster = Cluster::new(
+        ClusterConfig::new(MACHINES)
+            .workers_per_machine(2)
+            .buffer_bytes(4096)
+            .fault(plan),
+    );
+    let sorter = DistSorter::default();
+    cluster
+        .run(|ctx| sorter.sort(ctx, parts[ctx.id()].clone()).data)
+        .results
+        .concat()
+}
+
+#[test]
+fn fault_matrix_sorts_exactly() {
+    // 5 plans × 5 distributions = 25 cells, all seeded.
+    for (dist_name, parts) in inputs(101) {
+        let expect = flat_sorted(&parts);
+        for (plan_name, plan) in plans(17) {
+            let got = sort_under(plan, &parts);
+            assert_eq!(
+                got, expect,
+                "cell plan={plan_name} dist={dist_name} corrupted the sort"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_schedule_replays_from_its_seed() {
+    // Same seed ⇒ same fault schedule ⇒ same verdict AND same traffic.
+    let parts = generate_partitioned(Distribution::skew_storm(0.85), N, MACHINES, 5);
+    let run = || {
+        let cluster = Cluster::new(
+            ClusterConfig::new(MACHINES)
+                .workers_per_machine(2)
+                .buffer_bytes(4096)
+                .fault(FaultPlan::chaos(99)),
+        );
+        let sorter = DistSorter::default();
+        let parts_ref = &parts;
+        cluster.run(|ctx| sorter.sort(ctx, parts_ref[ctx.id()].clone()).data)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.comm.bytes_sent, b.comm.bytes_sent);
+    assert_eq!(a.comm.messages_sent, b.comm.messages_sent);
+    assert_eq!(a.comm.exchange.chunks_sent, b.comm.exchange.chunks_sent);
+}
+
+#[test]
+fn kill_mid_exchange_is_a_structured_error_not_a_hang() {
+    // Machine 1 dies partway through the sort's exchange traffic; the run
+    // must come back as a structured error within the step timeout, with
+    // the checker reporting residue (not panicking) on the surviving
+    // teardown path.
+    let parts = generate_partitioned(Distribution::duplicate_heavy(64), N, MACHINES, 7);
+    // Threshold 3 lands inside the exchange's count-phase all-gather
+    // (p-1 = 3 mainline receives) no matter how skewed the data chunk
+    // routing is, so the victim always dies mid-exchange.
+    let plan = FaultPlan::chaos(31)
+        .kill(1, 3)
+        .step_timeout(Duration::from_secs(5));
+    let cluster = Cluster::new(
+        ClusterConfig::new(MACHINES)
+            .workers_per_machine(2)
+            .buffer_bytes(4096)
+            .fault(plan),
+    );
+    let sorter = DistSorter::default();
+    let parts_ref = &parts;
+    let started = Instant::now();
+    let err = cluster
+        .try_run(|ctx| sorter.sort(ctx, parts_ref[ctx.id()].clone()).data)
+        .expect_err("killed machine must fail the run");
+    let elapsed = started.elapsed();
+    assert_eq!(err.kind, RunErrorKind::InjectedKill);
+    assert_eq!(err.machine, Some(1));
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "survivors must not hang; took {elapsed:?}"
+    );
+    if cfg!(debug_assertions) {
+        assert!(err.residual.is_some(), "checker must report teardown residue");
+    }
+}
+
+#[test]
+fn hung_step_times_out_under_the_sorter_closure_shape() {
+    // A machine that never reaches the collective converts the barrier
+    // into a StepTimeout within the configured bound.
+    let plan = FaultPlan::enabled(3).step_timeout(Duration::from_millis(250));
+    let cluster = Cluster::new(ClusterConfig::new(3).fault(plan));
+    let started = Instant::now();
+    let err = cluster
+        .try_run(|ctx| {
+            if ctx.id() != 0 {
+                ctx.barrier();
+            }
+        })
+        .expect_err("must time out");
+    assert_eq!(err.kind, RunErrorKind::StepTimeout);
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+#[test]
+fn traced_chaos_run_keeps_trace_invariants() {
+    // Tracing and fault injection compose: no ring drops at this
+    // capacity, and the trace's ChunkSend count must equal the stats
+    // counter — the fault plane's park/flush path may not double-count.
+    let parts = generate_partitioned(Distribution::skew_storm(0.7), N, MACHINES, 13);
+    let cluster = Cluster::new(
+        ClusterConfig::new(MACHINES)
+            .workers_per_machine(2)
+            .buffer_bytes(4096)
+            .trace(TraceConfig::enabled().ring_capacity(1 << 16))
+            .fault(FaultPlan::chaos(55)),
+    );
+    let sorter = DistSorter::default();
+    let parts_ref = &parts;
+    let report = cluster.run(|ctx| sorter.sort(ctx, parts_ref[ctx.id()].clone()).data);
+    let expect = flat_sorted(&parts);
+    assert_eq!(report.results.concat(), expect);
+    let trace = report.trace.expect("tracing was enabled");
+    assert_eq!(trace.dropped, 0, "ring capacity must hold the whole run");
+    let chunk_sends = trace.events_of_kind(EventKind::ChunkSend).count() as u64;
+    assert_eq!(chunk_sends, report.comm.exchange.chunks_sent);
+}
+
+#[test]
+fn try_run_ok_carries_the_full_report() {
+    let parts = generate_partitioned(Distribution::Uniform, N, MACHINES, 23);
+    let cluster = Cluster::new(
+        ClusterConfig::new(MACHINES)
+            .workers_per_machine(2)
+            .fault(FaultPlan::delays(77)),
+    );
+    let sorter = DistSorter::default();
+    let parts_ref = &parts;
+    let report = cluster
+        .try_run(|ctx| sorter.sort(ctx, parts_ref[ctx.id()].clone()).data)
+        .expect("benign plan must succeed");
+    assert_eq!(report.results.concat(), flat_sorted(&parts));
+    assert!(report.comm.bytes_sent > 0);
+}

@@ -171,6 +171,41 @@ proptest! {
     }
 
     #[test]
+    fn fault_plan_without_drops_is_output_equivalent(
+        data in pvec(any::<u64>(), 0..2000),
+        machines in 1usize..6,
+        fault_seed in any::<u64>(),
+        delay_permille in 0u32..400,
+        reorder_permille in 0u32..600,
+    ) {
+        // Any drop-free fault plan only perturbs *timing* (send delays,
+        // mailbox drain order); the sorted output must be identical to a
+        // fault-free run on the same input. Drops are excluded here
+        // because they are also output-equivalent only via redelivery,
+        // which the chaos suite covers separately.
+        use pgxd::FaultPlan;
+        let parts = partition_even(&data, machines);
+        let expect = sorted_copy(&data);
+        let plan = FaultPlan::enabled(fault_seed)
+            .chunk_delay(delay_permille, 50)
+            .reorder(reorder_permille)
+            .without_drops();
+        let run = |plan: FaultPlan| {
+            let cluster = Cluster::new(
+                ClusterConfig::new(machines).workers_per_machine(2).fault(plan),
+            );
+            let sorter = DistSorter::default();
+            let parts_ref = &parts;
+            cluster.run(|ctx| sorter.sort(ctx, parts_ref[ctx.id()].clone()).data)
+        };
+        let faulted = run(plan);
+        let clean = run(FaultPlan::disabled());
+        prop_assert_eq!(&faulted.results.concat(), &expect);
+        prop_assert_eq!(faulted.results, clean.results);
+        prop_assert_eq!(faulted.comm.exchange.chunks_sent, clean.comm.exchange.chunks_sent);
+    }
+
+    #[test]
     fn sample_factor_sweep_stays_correct(
         data in pvec(any::<u64>(), 0..1200),
         factor_milli in 1u64..2000,

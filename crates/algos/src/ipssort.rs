@@ -1,0 +1,462 @@
+//! In-place super scalar sample sort (ips4o-style; Axtmann, Witt,
+//! Ferizovic, Sanders — "In-place Parallel Super Scalar Samplesort").
+//!
+//! Same branchless splitter-tree classification as [`ssssort`], but instead
+//! of scattering into a fresh `n`-element buffer per recursion level, the
+//! classified elements pass through `k` small bucket *blocks*: full blocks
+//! are flushed back into the already-consumed prefix of the input, a
+//! block-granular cycle permutation groups each bucket's blocks together,
+//! and a final right-shift pass drops the partial blocks into place. Peak
+//! extra memory is `k · BLOCK` elements plus one label byte per block —
+//! constant in `n` — and the whole scratch kit is reused across recursion
+//! levels, replacing the out-of-place `ssssort` allocation churn.
+//!
+//! Everything here is safe Rust: the flush invariant (a bucket buffer only
+//! fills after at least `BLOCK` input elements were consumed past the write
+//! head) is proved in a comment at the flush site, and the block swaps go
+//! through `split_at_mut`/`swap_with_slice`.
+//!
+//! [`ssssort`]: crate::ssssort
+
+use std::time::Instant;
+
+use crate::exec::{self, even_chunk_bounds};
+use crate::insertion::insertion_sort;
+use crate::merge::parallel_kway_merge_into;
+use crate::quicksort::quicksort;
+use crate::Key;
+
+/// Buckets per classification level (power of two).
+pub const NUM_BUCKETS: usize = 64;
+const LOG_BUCKETS: u32 = NUM_BUCKETS.trailing_zeros();
+
+/// Elements per bucket block: the flush/permutation granularity. Large
+/// enough that flushes are memcpy-bound, small enough that the whole
+/// buffer kit (`NUM_BUCKETS * BLOCK` elements) stays cache-resident.
+pub const BLOCK: usize = 256;
+
+/// Oversampling factor: `NUM_BUCKETS * OVERSAMPLING` sample candidates.
+pub const OVERSAMPLING: usize = 8;
+
+/// At or below this size a partitioning level is not worth its
+/// classification pass; hand the slice to quicksort.
+pub const BASE_CASE: usize = 2048;
+
+/// At or below this size, plain insertion sort wins outright.
+const INSERTION_CASE: usize = 48;
+
+/// Phase timings accumulated over one sort call (all recursion levels).
+/// `classify_ns` covers the splitter-tree descent plus block flushes,
+/// `permute_ns` the block cycle permutation plus the final placement
+/// shifts, `base_ns` the quicksort/insertion base cases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IpsStats {
+    /// Nanoseconds spent classifying elements into bucket blocks.
+    pub classify_ns: u64,
+    /// Nanoseconds spent permuting blocks and placing partial buffers.
+    pub permute_ns: u64,
+    /// Nanoseconds spent in base-case sorts.
+    pub base_ns: u64,
+    /// Number of partitioning levels executed.
+    pub levels: u64,
+}
+
+impl IpsStats {
+    /// Merges another accumulation into this one (for per-chunk parallel
+    /// runs that aggregate worker stats).
+    pub fn merge(&mut self, other: &IpsStats) {
+        self.classify_ns += other.classify_ns;
+        self.permute_ns += other.permute_ns;
+        self.base_ns += other.base_ns;
+        self.levels += other.levels;
+    }
+}
+
+/// The reusable scratch kit: bucket buffers, splitter tree, sample, and
+/// block labels. One instance serves every recursion level of one sort
+/// (depth-first recursion never needs two levels' buffers at once).
+struct Scratch<T> {
+    /// `NUM_BUCKETS` buffers of `BLOCK` elements each, flattened.
+    bufs: Vec<T>,
+    /// Eytzinger splitter tree (`tree[1..NUM_BUCKETS]`; slot 0 unused).
+    tree: Vec<T>,
+    /// Sample candidates.
+    sample: Vec<T>,
+    /// Bucket label of each flushed block, in flush order.
+    labels: Vec<u8>,
+}
+
+impl<T: Copy> Scratch<T> {
+    fn new() -> Self {
+        Scratch {
+            bufs: Vec::new(),
+            tree: Vec::new(),
+            sample: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+}
+
+/// Sorts `data` in place with the ips4o-style samplesort.
+pub fn in_place_sample_sort<T: Key>(data: &mut [T]) {
+    let mut stats = IpsStats::default();
+    in_place_sample_sort_stats_into(data, &mut stats);
+}
+
+/// Sorts `data` in place, returning per-phase timings.
+pub fn in_place_sample_sort_stats<T: Key>(data: &mut [T]) -> IpsStats {
+    let mut stats = IpsStats::default();
+    in_place_sample_sort_stats_into(data, &mut stats);
+    stats
+}
+
+/// Sorts `data` in place, accumulating phase timings into `stats`.
+pub fn in_place_sample_sort_stats_into<T: Key>(data: &mut [T], stats: &mut IpsStats) {
+    if data.len() < 2 {
+        return;
+    }
+    let depth_limit = 1 + data.len().max(2).ilog2() / LOG_BUCKETS;
+    let mut scratch = Scratch::new();
+    sort_rec(data, depth_limit as usize, &mut scratch, stats);
+}
+
+/// Parallel form: each worker ip-samplesorts an even chunk in place, and
+/// the sorted chunks are combined with the splitter-planned parallel k-way
+/// merge (one pass over the data, cache-conscious segments per worker).
+/// Returns aggregated phase timings.
+///
+/// The distributed runtime drives the same two stages itself (so the merge
+/// output can come from its chunk pool); this entry point is the
+/// self-contained version for standalone use and benches.
+pub fn in_place_sample_sort_par<T: Key>(data: &mut [T], workers: usize) -> IpsStats {
+    let n = data.len();
+    let workers = workers.max(1).min((n / exec::MIN_ITEMS_PER_WORKER).max(1));
+    if workers <= 1 {
+        return in_place_sample_sort_stats(data);
+    }
+    let bounds = even_chunk_bounds(n, workers);
+    let stats_per: Vec<std::sync::Mutex<IpsStats>> =
+        (0..workers).map(|_| std::sync::Mutex::new(IpsStats::default())).collect();
+    {
+        let stats_per = &stats_per;
+        exec::for_each_chunk_mut(data, workers, |w, chunk| {
+            let s = in_place_sample_sort_stats(chunk);
+            *stats_per[w].lock().expect("stats mutex poisoned") = s;
+        });
+    }
+    let mut total = IpsStats::default();
+    for s in &stats_per {
+        total.merge(&s.lock().expect("stats mutex poisoned"));
+    }
+    // One-pass k-way merge of the chunks through a scratch copy.
+    let scratch: Vec<T> = data.to_vec();
+    let runs: Vec<&[T]> = bounds.windows(2).map(|w| &scratch[w[0]..w[1]]).collect();
+    parallel_kway_merge_into(&runs, data, workers);
+    total
+}
+
+fn sort_rec<T: Key>(data: &mut [T], depth: usize, scratch: &mut Scratch<T>, stats: &mut IpsStats) {
+    let n = data.len();
+    if n <= INSERTION_CASE {
+        let t0 = Instant::now();
+        insertion_sort(data);
+        stats.base_ns += t0.elapsed().as_nanos() as u64;
+        return;
+    }
+    if n <= BASE_CASE || depth == 0 {
+        let t0 = Instant::now();
+        quicksort(data);
+        stats.base_ns += t0.elapsed().as_nanos() as u64;
+        return;
+    }
+    stats.levels += 1;
+
+    // --- sample & splitters -------------------------------------------------
+    let sample_size = (NUM_BUCKETS * OVERSAMPLING).min(n);
+    scratch.sample.clear();
+    let mut x: u64 = 0x9e3779b97f4a7c15 ^ (n as u64);
+    for _ in 0..sample_size {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        scratch.sample.push(data[(x % n as u64) as usize]);
+    }
+    quicksort(&mut scratch.sample);
+    let sample_len = scratch.sample.len();
+    let first_splitter = scratch.sample[sample_len / NUM_BUCKETS];
+    let last_splitter = scratch.sample[(NUM_BUCKETS - 1) * sample_len / NUM_BUCKETS];
+    // Degenerate sample (all candidates equal): classification would put
+    // everything in one bucket; fall back.
+    if first_splitter == last_splitter {
+        let t0 = Instant::now();
+        quicksort(data);
+        stats.base_ns += t0.elapsed().as_nanos() as u64;
+        return;
+    }
+
+    // --- implicit Eytzinger splitter tree -----------------------------------
+    scratch.tree.clear();
+    scratch.tree.resize(NUM_BUCKETS, first_splitter);
+    {
+        let mut idx = 0usize;
+        fill_tree_from_sample(&scratch.sample, &mut scratch.tree, 1, &mut idx);
+        debug_assert_eq!(idx, NUM_BUCKETS - 1);
+    }
+
+    // --- classification into bucket blocks ----------------------------------
+    let t0 = Instant::now();
+    scratch.bufs.clear();
+    scratch.bufs.resize(NUM_BUCKETS * BLOCK, data[0]);
+    scratch.labels.clear();
+    let mut fills = [0usize; NUM_BUCKETS];
+    let tree = &scratch.tree[..NUM_BUCKETS];
+    let mut write = 0usize; // elements flushed back into data so far
+    for i in 0..n {
+        let key = data[i];
+        let mut node = 1usize;
+        for _ in 0..LOG_BUCKETS {
+            // Branch-free descent: left for <=, right for >.
+            node = 2 * node + usize::from(key > tree[node]);
+        }
+        let b = node - NUM_BUCKETS;
+        scratch.bufs[b * BLOCK + fills[b]] = key;
+        fills[b] += 1;
+        if fills[b] == BLOCK {
+            // Flush invariant: `i + 1` elements have been consumed, and
+            // `write` of them were flushed while the rest sit in buffers,
+            // so the buffered total is `i + 1 - write >= BLOCK` (this
+            // bucket alone holds BLOCK). Hence `write + BLOCK <= i + 1`:
+            // the flush only overwrites already-consumed slots.
+            data[write..write + BLOCK]
+                .copy_from_slice(&scratch.bufs[b * BLOCK..(b + 1) * BLOCK]);
+            scratch.labels.push(b as u8);
+            write += BLOCK;
+            fills[b] = 0;
+        }
+    }
+    stats.classify_ns += t0.elapsed().as_nanos() as u64;
+
+    // --- block permutation + final placement --------------------------------
+    let t1 = Instant::now();
+    let mut blocks_of = [0usize; NUM_BUCKETS];
+    for &l in &scratch.labels {
+        blocks_of[l as usize] += 1;
+    }
+    // counts[b]: total elements of bucket b; first[b]/end[b]: its block
+    // range in the packed (post-permutation) block area.
+    let mut counts = [0usize; NUM_BUCKETS];
+    let mut first = [0usize; NUM_BUCKETS];
+    let mut off = [0usize; NUM_BUCKETS + 1];
+    {
+        let mut blk = 0usize;
+        let mut elems = 0usize;
+        for b in 0..NUM_BUCKETS {
+            counts[b] = blocks_of[b] * BLOCK + fills[b];
+            first[b] = blk;
+            off[b] = elems;
+            blk += blocks_of[b];
+            elems += counts[b];
+        }
+        off[NUM_BUCKETS] = elems;
+        debug_assert_eq!(elems, n);
+    }
+
+    // Cycle permutation at block granularity: place every flushed block
+    // into its bucket's packed region. Each swap moves one block home, so
+    // the loop does at most `labels.len()` swaps.
+    {
+        let labels = &mut scratch.labels;
+        let mut next = first;
+        for b in 0..NUM_BUCKETS {
+            let end = first[b] + blocks_of[b];
+            while next[b] < end {
+                let l = labels[next[b]] as usize;
+                if l == b {
+                    next[b] += 1;
+                } else {
+                    swap_blocks(data, next[b], next[l]);
+                    labels.swap(next[b], next[l]);
+                    next[l] += 1;
+                }
+            }
+        }
+    }
+
+    // Final placement, highest bucket first: shift each bucket's full-block
+    // region right from its packed position to its final offset (the gap is
+    // exactly the partial-block space of the buckets below it), then drop
+    // the partial buffer into the tail. Descending order means every
+    // destination region only overlaps sources of the same bucket
+    // (memmove via copy_within) or already-vacated higher regions.
+    for b in (0..NUM_BUCKETS).rev() {
+        let src = first[b] * BLOCK;
+        let len = blocks_of[b] * BLOCK;
+        let dst = off[b];
+        debug_assert!(dst >= src);
+        if len > 0 && dst != src {
+            data.copy_within(src..src + len, dst);
+        }
+        let tail = dst + len;
+        data[tail..tail + fills[b]]
+            .copy_from_slice(&scratch.bufs[b * BLOCK..b * BLOCK + fills[b]]);
+    }
+    stats.permute_ns += t1.elapsed().as_nanos() as u64;
+
+    // --- recurse per bucket --------------------------------------------------
+    for b in 0..NUM_BUCKETS {
+        let (start, end) = (off[b], off[b + 1]);
+        if end - start < 2 {
+            continue;
+        }
+        if end - start > n / 2 {
+            // Guaranteed progress: a bucket that barely shrank (heavy
+            // duplication piling onto one splitter) is finished directly.
+            let t2 = Instant::now();
+            quicksort(&mut data[start..end]);
+            stats.base_ns += t2.elapsed().as_nanos() as u64;
+        } else {
+            sort_rec(&mut data[start..end], depth - 1, scratch, stats);
+        }
+    }
+}
+
+/// Swaps the `BLOCK`-element blocks at block indices `i` and `j`.
+fn swap_blocks<T: Copy>(data: &mut [T], i: usize, j: usize) {
+    debug_assert_ne!(i, j);
+    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+    let (head, tail) = data.split_at_mut(hi * BLOCK);
+    head[lo * BLOCK..(lo + 1) * BLOCK].swap_with_slice(&mut tail[..BLOCK]);
+}
+
+/// In-order fill of the Eytzinger layout from the *sample*: node `node`'s
+/// subtree receives the next regular sample positions in sorted order
+/// (splitter `i` is `sample[(i + 1) * len / NUM_BUCKETS]`).
+fn fill_tree_from_sample<T: Copy>(sample: &[T], tree: &mut [T], node: usize, idx: &mut usize) {
+    if node >= tree.len() {
+        return;
+    }
+    fill_tree_from_sample(sample, tree, 2 * node, idx);
+    *idx += 1;
+    tree[node] = sample[*idx * sample.len() / NUM_BUCKETS];
+    fill_tree_from_sample(sample, tree, 2 * node + 1, idx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_vec(seed: u64, n: usize, modulus: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % modulus
+            })
+            .collect()
+    }
+
+    fn check(mut v: Vec<u64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        in_place_sample_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_random_various_sizes() {
+        for n in [0usize, 1, 2, 47, 48, 49, 100, 2048, 2049, 10_000, 100_000, 262_144] {
+            check(xorshift_vec(1, n, u64::MAX));
+        }
+    }
+
+    #[test]
+    fn sorts_heavy_duplicates() {
+        for modulus in [1u64, 2, 5, 50, 1000] {
+            check(xorshift_vec(7, 50_000, modulus));
+        }
+    }
+
+    #[test]
+    fn sorts_presorted_reverse_and_organ() {
+        check((0..50_000).collect());
+        check((0..50_000).rev().collect());
+        check((0..25_000).chain((0..25_000).rev()).collect());
+    }
+
+    #[test]
+    fn sorts_single_dominant_value() {
+        let mut v = vec![7u64; 40_000];
+        v.extend(xorshift_vec(3, 10_000, 1000));
+        check(v);
+    }
+
+    #[test]
+    fn sorts_block_boundary_sizes() {
+        // Sizes straddling multiples of BLOCK and NUM_BUCKETS * BLOCK to
+        // exercise empty-partial / all-full edge paths.
+        for n in [
+            BLOCK - 1,
+            BLOCK,
+            BLOCK + 1,
+            NUM_BUCKETS * BLOCK - 1,
+            NUM_BUCKETS * BLOCK,
+            NUM_BUCKETS * BLOCK + 1,
+        ] {
+            check(xorshift_vec(11, n, u64::MAX));
+            check(xorshift_vec(13, n, 97));
+        }
+    }
+
+    #[test]
+    fn stats_account_for_work() {
+        let mut v = xorshift_vec(17, 200_000, u64::MAX);
+        let stats = in_place_sample_sort_stats(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert!(stats.levels >= 1, "large input must partition: {stats:?}");
+        assert!(stats.classify_ns > 0);
+        assert!(stats.permute_ns > 0);
+    }
+
+    #[test]
+    fn small_inputs_skip_partitioning() {
+        let mut v = xorshift_vec(19, BASE_CASE, u64::MAX);
+        let stats = in_place_sample_sort_stats(&mut v);
+        assert_eq!(stats.levels, 0);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        for (n, modulus) in [(100_000usize, u64::MAX), (50_000, 13), (30_000, 1)] {
+            let v = xorshift_vec(23, n, modulus);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let mut got = v;
+            in_place_sample_sort_par(&mut got, 4);
+            assert_eq!(got, expect, "n={n} modulus={modulus}");
+        }
+    }
+
+    #[test]
+    fn parallel_tiny_input_inline() {
+        let mut v = xorshift_vec(29, 100, 50);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        in_place_sample_sort_par(&mut v, 8);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_non_numeric_keys() {
+        let words = ["kiwi", "apple", "fig", "apple", "banana", "cherry"];
+        let mut keys: Vec<crate::FixedStr<8>> = (0..5000)
+            .map(|i| crate::FixedStr::new(words[i % words.len()]))
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        in_place_sample_sort(&mut keys);
+        assert_eq!(keys, expect);
+    }
+}

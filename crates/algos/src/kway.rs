@@ -130,6 +130,28 @@ pub fn kway_merge<T: Ord + Copy>(runs: &[&[T]]) -> Vec<T> {
     out
 }
 
+/// Merges `k` sorted runs into a caller-provided output slice whose length
+/// must equal the total run length. The allocation-free form of
+/// [`kway_merge`], used by the parallel multiway merge to fill disjoint
+/// output segments in place.
+pub fn kway_merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(total, out.len(), "output size mismatch");
+    match runs.len() {
+        0 => {}
+        1 => out.copy_from_slice(runs[0]),
+        2 => crate::merge::merge_into(runs[0], runs[1], out),
+        _ => {
+            let mut tree = LoserTree::new(runs.to_vec());
+            for slot in out.iter_mut() {
+                let (v, _) = tree.pop().expect("loser tree exhausted early");
+                *slot = v;
+            }
+            debug_assert_eq!(tree.remaining(), 0);
+        }
+    }
+}
+
 /// Merges `k` sorted runs, also reporting for every output element which
 /// run it came from. Used where provenance matters (e.g. tracing samples
 /// back to their processor).

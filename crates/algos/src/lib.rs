@@ -15,11 +15,18 @@
 //!   (almost) equal size at every level to keep caches warm and work even.
 //! - [`kway`] — loser-tree k-way merge used by the master to combine sample
 //!   runs, with a provenance-carrying variant.
+//! - [`ipssort`] — ips4o-style **in-place** parallel samplesort: the same
+//!   branchless splitter-tree classification as [`ssssort`] but flushing
+//!   through constant-size bucket blocks and permuting blocks in place, so
+//!   the peak extra memory is constant in `n`; the runtime's default fast
+//!   local path.
 //! - [`timsort`] — a from-scratch TimSort (run detection, binary insertion
 //!   bulking to min-run, galloping merges) as used by Spark's `sortByKey`;
 //!   this is the baseline's local sort.
 //! - [`radix`] — LSD radix sort, the classic comparison-free baseline the
-//!   paper discusses in §II.
+//!   paper discusses in §II, now reachable from generic code through
+//!   [`radix::RadixDispatch`] (the runtime's `LocalSortAlgo::{Radix, Auto}`
+//!   fast path).
 //! - [`bitonic`] — Batcher's bitonic sorting network, the other classical
 //!   baseline of §II.
 //! - [`search`] — `lower_bound`/`upper_bound` and the splitter-range
@@ -37,6 +44,7 @@
 pub mod bitonic;
 pub mod exec;
 pub mod insertion;
+pub mod ipssort;
 pub mod kway;
 pub mod merge;
 pub mod pquicksort;

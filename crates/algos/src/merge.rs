@@ -184,6 +184,140 @@ pub fn balanced_merge<T: Ord + Copy + Send + Sync>(
     data
 }
 
+/// Oversampling factor for the multiway split planner: candidates per run
+/// per output part. Higher values tighten part-size balance at the cost of
+/// a slightly larger (still tiny) planning sort.
+const SPLIT_OVERSAMPLE: usize = 8;
+
+/// Plans a `parts`-way partition of a k-way merge: returns `parts + 1`
+/// rows of per-run cut positions, where output part `i` is the merge of
+/// `runs[j][rows[i][j]..rows[i + 1][j]]` over all `j`. The rows satisfy
+///
+/// * **monotonicity** — `rows[i][j] <= rows[i + 1][j]` for every run, with
+///   `rows[0]` all zeros and `rows[parts]` the run lengths, and
+/// * **cross-part order** — every element of part `i` is `<=` every
+///   element of part `i + 1`,
+///
+/// so the parts can be merged independently into disjoint output segments
+/// and the concatenation is sorted. Boundary values are picked from a
+/// regular sample of each run (splitter-style, like the §IV distributed
+/// partition but within one machine); exact target ranks are approached by
+/// greedily distributing elements equal to the boundary value, so equal
+/// keys may change run-relative order *across* part boundaries (within a
+/// part the merge stays stable in run order).
+pub fn plan_multiway_splits<T: Ord + Copy>(runs: &[&[T]], parts: usize) -> Vec<Vec<usize>> {
+    let parts = parts.max(1);
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut rows: Vec<Vec<usize>> = Vec::with_capacity(parts + 1);
+    rows.push(vec![0; runs.len()]);
+    if total == 0 {
+        rows.resize(parts + 1, vec![0; runs.len()]);
+        return rows;
+    }
+
+    // Regular sample of boundary candidates from every run.
+    let mut cands: Vec<T> = Vec::new();
+    for run in runs {
+        if run.is_empty() {
+            continue;
+        }
+        let s = (parts * SPLIT_OVERSAMPLE).min(run.len());
+        for t in 0..s {
+            cands.push(run[(t * run.len()) / s + run.len() / (2 * s)]);
+        }
+    }
+    cands.sort_unstable();
+
+    for i in 1..parts {
+        let target = (i * total) / parts;
+        let v = cands[((i * cands.len()) / parts).min(cands.len() - 1)];
+        // Everything strictly below `v` must land in parts <= i; elements
+        // equal to `v` are distributed greedily to hit the target rank.
+        let mut row: Vec<usize> = Vec::with_capacity(runs.len());
+        let mut below = 0usize;
+        let mut ties: Vec<usize> = Vec::with_capacity(runs.len());
+        for run in runs {
+            let lo = crate::search::lower_bound(run, &v);
+            let hi = crate::search::upper_bound(run, &v);
+            row.push(lo);
+            ties.push(hi - lo);
+            below += lo;
+        }
+        let mut deficit = target.saturating_sub(below);
+        for (j, cut) in row.iter_mut().enumerate() {
+            let take = deficit.min(ties[j]);
+            *cut += take;
+            deficit -= take;
+        }
+        // Clamp against the previous row: candidate values are sorted so
+        // the cuts are already monotone, but make it structural.
+        let prev = rows.last().expect("rows starts non-empty");
+        for (cut, &p) in row.iter_mut().zip(prev.iter()) {
+            *cut = (*cut).max(p);
+        }
+        rows.push(row);
+    }
+    rows.push(runs.iter().map(|r| r.len()).collect());
+    rows
+}
+
+/// Parallel k-way merge of sorted `runs` into `out` (whose length must
+/// equal the total run length): the output is split into `workers`
+/// near-equal parts by [`plan_multiway_splits`], and each part is merged
+/// independently on a scoped thread — one pass over the data, each worker
+/// streaming into its own contiguous, cache-local output segment. Small
+/// inputs fall through to the sequential [`kway_merge_into`].
+pub fn parallel_kway_merge_into<T: Ord + Copy + Send + Sync>(
+    runs: &[&[T]],
+    out: &mut [T],
+    workers: usize,
+) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(total, out.len(), "output size mismatch");
+    if workers <= 1 || total < PARALLEL_MERGE_CUTOFF {
+        crate::kway::kway_merge_into(runs, out);
+        return;
+    }
+    let rows = plan_multiway_splits(runs, workers);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for pair in rows.windows(2) {
+            let (lo, hi) = (&pair[0], &pair[1]);
+            let part_len: usize = lo.iter().zip(hi.iter()).map(|(&a, &b)| b - a).sum();
+            let (segment, tail) = rest.split_at_mut(part_len);
+            rest = tail;
+            if part_len == 0 {
+                continue;
+            }
+            let part_runs: Vec<&[T]> = runs
+                .iter()
+                .zip(lo.iter().zip(hi.iter()))
+                .map(|(run, (&a, &b))| &run[a..b])
+                .collect();
+            scope.spawn(move || crate::kway::kway_merge_into(&part_runs, segment));
+        }
+    });
+}
+
+/// Convenience wrapper: parallel k-way merge of the runs stored
+/// back-to-back in `data` (run `r` at `data[bounds[r]..bounds[r + 1]]`).
+/// The flat-k-way alternative to the Fig. 2 [`balanced_merge`] tree.
+pub fn parallel_kway_merge<T: Ord + Copy + Send + Sync>(
+    data: Vec<T>,
+    bounds: &[usize],
+    workers: usize,
+) -> Vec<T> {
+    assert!(!bounds.is_empty(), "bounds must contain at least [0]");
+    assert_eq!(*bounds.last().unwrap(), data.len(), "bounds must cover data");
+    if bounds.len() <= 2 {
+        return data; // zero or one run: already sorted
+    }
+    let mut out = data.clone();
+    let runs: Vec<&[T]> = bounds.windows(2).map(|w| &data[w[0]..w[1]]).collect();
+    parallel_kway_merge_into(&runs, &mut out, workers);
+    out
+}
+
 /// Sequential form of the Fig. 2 tree: identical merge schedule, no
 /// thread spawns. Used automatically for small inputs.
 fn balanced_merge_sequential<T: Ord + Copy>(mut data: Vec<T>, bounds: &[usize]) -> Vec<T> {
@@ -377,5 +511,128 @@ mod tests {
         expect.sort_unstable();
         let sorted = sort_chunks_and_merge(data, 1, |chunk| chunk.sort_unstable());
         assert_eq!(sorted, expect);
+    }
+
+    fn sorted_runs(k: usize, n: usize, modulus: u64) -> Vec<Vec<u64>> {
+        (0..k)
+            .map(|i| {
+                let mut run = xorshift_vec(n + 37 * i, modulus);
+                run.sort_unstable();
+                run
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_plan_is_monotone_and_ordered() {
+        for modulus in [u64::MAX, 1000, 7, 1] {
+            let runs = sorted_runs(5, 20_000, modulus);
+            let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+            let parts = 6;
+            let rows = plan_multiway_splits(&refs, parts);
+            assert_eq!(rows.len(), parts + 1);
+            assert_eq!(rows[0], vec![0; refs.len()]);
+            let lens: Vec<usize> = refs.iter().map(|r| r.len()).collect();
+            assert_eq!(rows[parts], lens);
+            for i in 0..parts {
+                for j in 0..refs.len() {
+                    assert!(rows[i][j] <= rows[i + 1][j], "row {i} run {j} not monotone");
+                }
+                // cross-part order: max of part i <= min of part i+1
+                let part_max = (0..refs.len())
+                    .filter(|&j| rows[i + 1][j] > rows[i][j])
+                    .map(|j| refs[j][rows[i + 1][j] - 1])
+                    .max();
+                let next_min = if i + 1 < parts {
+                    (0..refs.len())
+                        .filter(|&j| rows[i + 2][j] > rows[i + 1][j])
+                        .map(|j| refs[j][rows[i + 1][j]])
+                        .min()
+                } else {
+                    None
+                };
+                if let (Some(mx), Some(mn)) = (part_max, next_min) {
+                    assert!(mx <= mn, "part {i} max {mx} > part {} min {mn}", i + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_plan_balances_uniform_parts() {
+        let runs = sorted_runs(4, 50_000, u64::MAX);
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let total: usize = refs.iter().map(|r| r.len()).sum();
+        let parts = 8;
+        let rows = plan_multiway_splits(&refs, parts);
+        let ideal = total / parts;
+        for pair in rows.windows(2) {
+            let size: usize = pair[0]
+                .iter()
+                .zip(pair[1].iter())
+                .map(|(&a, &b)| b - a)
+                .sum();
+            // Regular sampling keeps parts within a loose factor of ideal.
+            assert!(
+                size < ideal * 2 + SPLIT_OVERSAMPLE * parts,
+                "part size {size} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_kway_matches_flat_sort() {
+        for (k, modulus) in [(2usize, u64::MAX), (5, 1000), (8, 3), (7, 1)] {
+            let runs = sorted_runs(k, 20_000, modulus);
+            let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+            let total: usize = refs.iter().map(|r| r.len()).sum();
+            let mut out = vec![0u64; total];
+            parallel_kway_merge_into(&refs, &mut out, 4);
+            let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            assert_eq!(out, expect, "k={k} modulus={modulus}");
+        }
+    }
+
+    #[test]
+    fn parallel_kway_with_empty_and_tiny_runs() {
+        let runs: Vec<Vec<u64>> = vec![vec![], vec![5], vec![], (0..40_000).collect(), vec![2, 9]];
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let total: usize = refs.iter().map(|r| r.len()).sum();
+        let mut out = vec![0u64; total];
+        parallel_kway_merge_into(&refs, &mut out, 4);
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_kway_small_input_sequential_path() {
+        let runs = sorted_runs(3, 100, 50);
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let total: usize = refs.iter().map(|r| r.len()).sum();
+        let mut out = vec![0u64; total];
+        parallel_kway_merge_into(&refs, &mut out, 8);
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_kway_vec_wrapper() {
+        let mut data = xorshift_vec(60_000, 1 << 30);
+        let bounds = even_chunk_bounds(data.len(), 5);
+        for w in bounds.windows(2) {
+            data[w[0]..w[1]].sort_unstable();
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let merged = parallel_kway_merge(data, &bounds, 4);
+        assert_eq!(merged, expect);
+        // Degenerate bounds: zero or one run returns input as-is.
+        let merged = parallel_kway_merge(vec![3u64, 1, 2], &[0, 3], 4);
+        assert_eq!(merged, vec![3, 1, 2]);
+        let merged = parallel_kway_merge(Vec::<u64>::new(), &[0], 4);
+        assert!(merged.is_empty());
     }
 }

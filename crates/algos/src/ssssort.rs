@@ -23,17 +23,39 @@ pub const OVERSAMPLING: usize = 8;
 pub const BASE_CASE: usize = 2048;
 
 /// Sorts `data` with super scalar sample sort. Out-of-place per level
-/// (one scatter buffer), recursion on buckets.
-pub fn super_scalar_sample_sort<T: Key>(data: Vec<T>) -> Vec<T> {
-    let depth_limit = 1 + data.len().max(2).ilog2() / LOG_BUCKETS;
-    sort_rec(data, depth_limit as usize)
+/// (one scatter buffer), recursion on buckets. Allocates the scratch kit
+/// internally; callers with a buffer to recycle (e.g. the runtime's
+/// per-worker chunk loop) should use
+/// [`super_scalar_sample_sort_with_scratch`].
+pub fn super_scalar_sample_sort<T: Key>(mut data: Vec<T>) -> Vec<T> {
+    let mut scratch = Vec::new();
+    super_scalar_sample_sort_with_scratch(&mut data, &mut scratch);
+    data
 }
 
-fn sort_rec<T: Key>(mut data: Vec<T>, depth: usize) -> Vec<T> {
+/// Slice form of [`super_scalar_sample_sort`] scattering through a
+/// caller-supplied scratch buffer (resized here to the slice length; prior
+/// capacity is reused). One scratch + one label buffer serve every
+/// recursion level — no per-level or per-bucket allocation.
+pub fn super_scalar_sample_sort_with_scratch<T: Key>(data: &mut [T], scratch: &mut Vec<T>) {
     let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let depth_limit = 1 + n.max(2).ilog2() / LOG_BUCKETS;
+    scratch.clear();
+    scratch.resize(n, data[0]);
+    let mut labels = vec![0u8; n];
+    sort_rec(data, &mut scratch[..n], &mut labels, depth_limit as usize);
+}
+
+fn sort_rec<T: Key>(data: &mut [T], scratch: &mut [T], labels: &mut [u8], depth: usize) {
+    let n = data.len();
+    debug_assert_eq!(scratch.len(), n);
+    debug_assert_eq!(labels.len(), n);
     if n <= BASE_CASE || depth == 0 {
-        quicksort(&mut data);
-        return data;
+        quicksort(data);
+        return;
     }
 
     // --- sample & splitters -------------------------------------------------
@@ -55,8 +77,8 @@ fn sort_rec<T: Key>(mut data: Vec<T>, depth: usize) -> Vec<T> {
     // Degenerate sample (all candidates equal): classification would put
     // everything in one bucket; fall back.
     if splitters.first() == splitters.last() {
-        quicksort(&mut data);
-        return data;
+        quicksort(data);
+        return;
     }
 
     // --- implicit Eytzinger splitter tree -----------------------------------
@@ -70,7 +92,6 @@ fn sort_rec<T: Key>(mut data: Vec<T>, depth: usize) -> Vec<T> {
     }
 
     // --- classify + scatter --------------------------------------------------
-    let mut bucket_of = vec![0u8; n];
     let mut counts = [0usize; NUM_BUCKETS];
     for (e, &key) in data.iter().enumerate() {
         let mut i = 1usize;
@@ -79,7 +100,7 @@ fn sort_rec<T: Key>(mut data: Vec<T>, depth: usize) -> Vec<T> {
             i = 2 * i + usize::from(key > tree[i]);
         }
         let b = i - NUM_BUCKETS;
-        bucket_of[e] = b as u8;
+        labels[e] = b as u8;
         counts[b] += 1;
     }
     let mut offsets = [0usize; NUM_BUCKETS];
@@ -88,42 +109,34 @@ fn sort_rec<T: Key>(mut data: Vec<T>, depth: usize) -> Vec<T> {
         *o = running;
         running += c;
     }
-    let mut scattered: Vec<T> = Vec::with_capacity(n);
-    // SAFETY-free scatter: clone then overwrite every slot via cursors.
-    scattered.extend_from_slice(&data);
     {
         let mut cursors = offsets;
         for (e, &key) in data.iter().enumerate() {
-            let b = bucket_of[e] as usize;
-            scattered[cursors[b]] = key;
+            let b = labels[e] as usize;
+            scratch[cursors[b]] = key;
             cursors[b] += 1;
         }
     }
-    drop(data);
-    drop(bucket_of);
+    data.copy_from_slice(scratch);
 
     // --- recurse per bucket ---------------------------------------------------
-    let mut out = Vec::with_capacity(n);
-    for b in 0..NUM_BUCKETS {
-        let start = offsets[b];
-        let end = start + counts[b];
-        if counts[b] == 0 {
+    let (mut data_rest, mut scratch_rest, mut labels_rest) = (data, scratch, labels);
+    for &count in counts.iter() {
+        let (bucket, dr) = data_rest.split_at_mut(count);
+        let (bucket_scratch, sr) = scratch_rest.split_at_mut(count);
+        let (bucket_labels, lr) = labels_rest.split_at_mut(count);
+        (data_rest, scratch_rest, labels_rest) = (dr, sr, lr);
+        if count < 2 {
             continue;
         }
-        let bucket: Vec<T> = scattered[start..end].to_vec();
-        // Guaranteed progress: a bucket that barely shrank (heavy
-        // duplication piling onto one splitter) is finished directly.
-        let sorted_bucket = if counts[b] > n / 2 {
-            let mut v = bucket;
-            quicksort(&mut v);
-            v
+        if count > n / 2 {
+            // Guaranteed progress: a bucket that barely shrank (heavy
+            // duplication piling onto one splitter) is finished directly.
+            quicksort(bucket);
         } else {
-            sort_rec(bucket, depth - 1)
-        };
-        out.extend(sorted_bucket);
+            sort_rec(bucket, bucket_scratch, bucket_labels, depth - 1);
+        }
     }
-    debug_assert_eq!(out.len(), n);
-    out
 }
 
 /// In-order fill of the Eytzinger layout: node `node`'s subtree receives
@@ -186,6 +199,33 @@ mod tests {
         let mut v = vec![7u64; 40_000];
         v.extend(xorshift_vec(3, 10_000, 1000));
         check(v);
+    }
+
+    #[test]
+    fn scratch_api_reuses_buffer_across_calls() {
+        let mut scratch = Vec::new();
+        for seed in [1u64, 5, 9] {
+            let mut v = xorshift_vec(seed, 30_000, 1 << 40);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            super_scalar_sample_sort_with_scratch(&mut v, &mut scratch);
+            assert_eq!(v, expect);
+        }
+        assert!(scratch.capacity() >= 30_000);
+    }
+
+    #[test]
+    fn scratch_api_sorts_subslice_only() {
+        let mut v = xorshift_vec(21, 20_000, u64::MAX);
+        let head = v[..7].to_vec();
+        let tail = v[19_000..].to_vec();
+        let mut expect_mid = v[7..19_000].to_vec();
+        expect_mid.sort_unstable();
+        let mut scratch = Vec::new();
+        super_scalar_sample_sort_with_scratch(&mut v[7..19_000], &mut scratch);
+        assert_eq!(&v[..7], &head[..]);
+        assert_eq!(&v[7..19_000], &expect_mid[..]);
+        assert_eq!(&v[19_000..], &tail[..]);
     }
 
     #[test]

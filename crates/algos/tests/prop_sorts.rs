@@ -4,13 +4,17 @@
 
 use pgxd_algos::bitonic::{bitonic_sort_padded, compare_split};
 use pgxd_algos::insertion::{binary_insertion_sort, insertion_sort};
-use pgxd_algos::kway::{kway_merge, kway_merge_tagged};
-use pgxd_algos::merge::{balanced_merge, merge_into, parallel_merge_into, sort_chunks_and_merge};
+use pgxd_algos::ipssort::{in_place_sample_sort, in_place_sample_sort_par};
+use pgxd_algos::kway::{kway_merge, kway_merge_into, kway_merge_tagged};
+use pgxd_algos::merge::{
+    balanced_merge, merge_into, parallel_kway_merge_into, parallel_merge_into,
+    plan_multiway_splits, sort_chunks_and_merge,
+};
 use pgxd_algos::pquicksort::parallel_quicksort;
 use pgxd_algos::quicksort::{heapsort, quicksort};
-use pgxd_algos::radix::radix_sort;
+use pgxd_algos::radix::{radix_sort, radix_sort_with_scratch, try_parallel_radix_sort, RadixDispatch};
 use pgxd_algos::search::{lower_bound, upper_bound};
-use pgxd_algos::ssssort::super_scalar_sample_sort;
+use pgxd_algos::ssssort::{super_scalar_sample_sort, super_scalar_sample_sort_with_scratch};
 use pgxd_algos::timsort::{gallop_left, gallop_right, timsort};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
@@ -119,6 +123,139 @@ proptest! {
     fn ssssort_heavy_duplicates(v in pvec(0u64..3, 0..4000)) {
         let expect = sorted_copy(&v);
         prop_assert_eq!(super_scalar_sample_sort(v), expect);
+    }
+
+    #[test]
+    fn ipssort_matches_std(mut v in pvec(any::<u64>(), 0..6000)) {
+        let expect = sorted_copy(&v);
+        in_place_sample_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn ipssort_heavy_duplicates(mut v in pvec(0u64..3, 0..6000)) {
+        let expect = sorted_copy(&v);
+        in_place_sample_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn ipssort_parallel_matches_std(
+        mut v in pvec(any::<u64>(), 0..8000),
+        workers in 1usize..9,
+    ) {
+        let expect = sorted_copy(&v);
+        in_place_sample_sort_par(&mut v, workers);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn radix_scratch_matches_std(v in pvec(any::<u64>(), 0..2000)) {
+        let expect = sorted_copy(&v);
+        let mut got = v;
+        let mut scratch = Vec::new();
+        radix_sort_with_scratch(&mut got, &mut scratch);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn radix_slice_leaves_surroundings(
+        head in pvec(any::<u64>(), 0..50),
+        mid in pvec(any::<u64>(), 0..500),
+        tail in pvec(any::<u64>(), 0..50),
+    ) {
+        let mut v = head.clone();
+        v.extend(&mid);
+        v.extend(&tail);
+        let expect_mid = sorted_copy(&mid);
+        let (h, t) = (head.len(), head.len() + mid.len());
+        radix_sort(&mut v[h..t]);
+        prop_assert_eq!(&v[..h], &head[..]);
+        prop_assert_eq!(&v[h..t], &expect_mid[..]);
+        prop_assert_eq!(&v[t..], &tail[..]);
+    }
+
+    #[test]
+    fn radix_dispatch_parallel_matches_std(
+        v in pvec(any::<i64>(), 0..5000),
+        workers in 1usize..9,
+    ) {
+        prop_assert!(<i64 as RadixDispatch>::radix_capable());
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let got = try_parallel_radix_sort(v, workers).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn kway_merge_into_matches_kway_merge(mut runs in pvec(pvec(any::<u64>(), 0..200), 0..10)) {
+        for r in &mut runs {
+            r.sort();
+        }
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let expect = kway_merge(&refs);
+        let mut out = vec![0u64; expect.len()];
+        kway_merge_into(&refs, &mut out);
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn multiway_split_plan_invariants(
+        mut runs in pvec(pvec(any::<u64>(), 0..400), 1..8),
+        parts in 1usize..9,
+    ) {
+        for r in &mut runs {
+            r.sort();
+        }
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let rows = plan_multiway_splits(&refs, parts);
+        prop_assert_eq!(rows.len(), parts + 1);
+        prop_assert_eq!(&rows[0], &vec![0usize; refs.len()]);
+        let lens: Vec<usize> = refs.iter().map(|r| r.len()).collect();
+        prop_assert_eq!(&rows[parts], &lens);
+        for i in 0..parts {
+            for (lo, hi) in rows[i].iter().zip(&rows[i + 1]) {
+                prop_assert!(lo <= hi);
+            }
+            let part_max = (0..refs.len())
+                .filter(|&j| rows[i + 1][j] > rows[i][j])
+                .map(|j| refs[j][rows[i + 1][j] - 1])
+                .max();
+            if i + 1 < parts {
+                let next_min = (0..refs.len())
+                    .filter(|&j| rows[i + 2][j] > rows[i + 1][j])
+                    .map(|j| refs[j][rows[i + 1][j]])
+                    .min();
+                if let (Some(mx), Some(mn)) = (part_max, next_min) {
+                    prop_assert!(mx <= mn);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_kway_matches_std(
+        mut runs in pvec(pvec(any::<u64>(), 0..600), 0..8),
+        workers in 1usize..6,
+    ) {
+        for r in &mut runs {
+            r.sort();
+        }
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort();
+        let mut out = vec![0u64; expect.len()];
+        parallel_kway_merge_into(&refs, &mut out, workers);
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn ssssort_scratch_matches_vec_api(v in pvec(any::<u64>(), 0..4000)) {
+        let expect = sorted_copy(&v);
+        let mut got = v;
+        let mut scratch = Vec::new();
+        super_scalar_sample_sort_with_scratch(&mut got, &mut scratch);
+        prop_assert_eq!(got, expect);
     }
 
     #[test]

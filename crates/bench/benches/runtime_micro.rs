@@ -108,6 +108,77 @@ fn bench_exchange_pooled_vs_legacy(c: &mut Criterion) {
     group.finish();
 }
 
+/// Step-1 kernels head-to-head on one machine's shard of uniform u64:
+/// the legacy chunk-quicksort path vs the in-place samplesort and the
+/// LSD radix fast path, plus the two k-way merge combiners.
+fn bench_local_sort_kernels(c: &mut Criterion) {
+    use pgxd_algos::ipssort::in_place_sample_sort;
+    use pgxd_algos::kway::kway_merge_into;
+    use pgxd_algos::merge::parallel_kway_merge_into;
+    use pgxd_algos::quicksort::quicksort;
+    use pgxd_algos::radix::radix_sort_with_scratch;
+
+    let mut group = c.benchmark_group("local_sort_kernels");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let n = 1usize << 20;
+    let base: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+
+    group.bench_function("quicksort_1m", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            quicksort(&mut v);
+            v
+        });
+    });
+    group.bench_function("ipssort_1m", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            in_place_sample_sort(&mut v);
+            v
+        });
+    });
+    group.bench_function("radix_1m", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut v = base.clone();
+            radix_sort_with_scratch(&mut v, &mut scratch);
+            v
+        });
+    });
+
+    // Merge combiners over 8 pre-sorted runs of the same total size.
+    let runs_flat: Vec<u64> = {
+        let mut v = base.clone();
+        let chunk = n / 8;
+        for c in v.chunks_mut(chunk) {
+            c.sort_unstable();
+        }
+        v
+    };
+    let bounds: Vec<usize> = (0..=8).map(|i| i * (n / 8)).collect();
+    group.bench_function("kway_merge_8x128k", |b| {
+        let mut out = vec![0u64; n];
+        b.iter(|| {
+            let runs: Vec<&[u64]> =
+                bounds.windows(2).map(|w| &runs_flat[w[0]..w[1]]).collect();
+            kway_merge_into(&runs, &mut out);
+            out.last().copied()
+        });
+    });
+    group.bench_function("par_kway_merge_8x128k_w4", |b| {
+        let mut out = vec![0u64; n];
+        b.iter(|| {
+            let runs: Vec<&[u64]> =
+                bounds.windows(2).map(|w| &runs_flat[w[0]..w[1]]).collect();
+            parallel_kway_merge_into(&runs, &mut out, 4);
+            out.last().copied()
+        });
+    });
+    group.finish();
+}
+
 fn bench_task_manager(c: &mut Criterion) {
     let mut group = c.benchmark_group("task_manager");
     group.sample_size(10);
@@ -148,6 +219,7 @@ criterion_group!(
     bench_collectives,
     bench_exchange_buffer_sizes,
     bench_exchange_pooled_vs_legacy,
+    bench_local_sort_kernels,
     bench_task_manager
 );
 criterion_main!(benches);

@@ -16,6 +16,71 @@ pub enum LocalSortAlgo {
     /// Super scalar sample sort (the paper's reference \[21\]) — the
     /// cache/branch-friendly sample-sort kernel, as a local-sort ablation.
     SuperScalarSampleSort,
+    /// ips4o-style in-place parallel samplesort: the same splitter-tree
+    /// classification as [`SuperScalarSampleSort`](Self::SuperScalarSampleSort)
+    /// but permuting constant-memory bucket blocks in place — the fast
+    /// comparison path.
+    InPlaceSampleSort,
+    /// LSD radix fast path for radix-capable key types (u64/u32/i64);
+    /// silently falls back to [`InPlaceSampleSort`](Self::InPlaceSampleSort)
+    /// for key types without a radix image.
+    Radix,
+    /// Pick automatically: radix for radix-capable keys past
+    /// [`AUTO_RADIX_MIN`] elements per machine, in-place samplesort
+    /// otherwise.
+    Auto,
+}
+
+/// Below this per-machine element count, `LocalSortAlgo::Auto` prefers the
+/// comparison path even for radix-capable keys: at small `n` the fixed
+/// 8-pass cost of LSD radix dominates the `n log n` advantage.
+pub const AUTO_RADIX_MIN: usize = 1 << 16;
+
+impl LocalSortAlgo {
+    /// Every variant, for sweeps and benches.
+    pub const ALL: [LocalSortAlgo; 6] = [
+        LocalSortAlgo::ParallelQuicksort,
+        LocalSortAlgo::Timsort,
+        LocalSortAlgo::SuperScalarSampleSort,
+        LocalSortAlgo::InPlaceSampleSort,
+        LocalSortAlgo::Radix,
+        LocalSortAlgo::Auto,
+    ];
+
+    /// Stable short name (bench tables, JSON results).
+    pub fn name(self) -> &'static str {
+        match self {
+            LocalSortAlgo::ParallelQuicksort => "pquick",
+            LocalSortAlgo::Timsort => "timsort",
+            LocalSortAlgo::SuperScalarSampleSort => "ssss",
+            LocalSortAlgo::InPlaceSampleSort => "ipssort",
+            LocalSortAlgo::Radix => "radix",
+            LocalSortAlgo::Auto => "auto",
+        }
+    }
+}
+
+/// Which algorithm combines the per-source sorted runs in step 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalMergeAlgo {
+    /// The paper's Fig. 2 balanced pairwise merge tree (default).
+    Balanced,
+    /// Sequential loser-tree k-way merge (ablation baseline).
+    SequentialKway,
+    /// Splitter-planned parallel k-way merge: one pass over the data,
+    /// output split across workers by binary-searched splitter ranges.
+    ParallelKway,
+}
+
+impl FinalMergeAlgo {
+    /// Stable short name (bench tables, JSON results).
+    pub fn name(self) -> &'static str {
+        match self {
+            FinalMergeAlgo::Balanced => "balanced",
+            FinalMergeAlgo::SequentialKway => "kway",
+            FinalMergeAlgo::ParallelKway => "par_kway",
+        }
+    }
 }
 
 /// Tuning knobs for [`DistSorter`](crate::DistSorter).
@@ -31,9 +96,8 @@ pub struct SortConfig {
     /// Disabling reverts to naive `upper_bound` partitioning (Fig. 3b) —
     /// the load-imbalance ablation.
     pub investigator: bool,
-    /// Use the Fig. 2 balanced parallel merge for the final merge.
-    /// Disabling uses a sequential k-way loser-tree merge (ablation).
-    pub balanced_final_merge: bool,
+    /// Final-merge strategy for step 6.
+    pub final_merge: FinalMergeAlgo,
     /// Local sort algorithm for step 1.
     pub local_sort: LocalSortAlgo,
 }
@@ -44,7 +108,7 @@ impl Default for SortConfig {
             sample_factor: 1.0,
             fixed_samples_per_machine: None,
             investigator: true,
-            balanced_final_merge: true,
+            final_merge: FinalMergeAlgo::Balanced,
             local_sort: LocalSortAlgo::ParallelQuicksort,
         }
     }
@@ -75,9 +139,22 @@ impl SortConfig {
         self
     }
 
-    /// Toggles the balanced final merge.
+    /// Toggles the balanced final merge: `true` is the Fig. 2 tree,
+    /// `false` the sequential k-way ablation. Kept for the pre-existing
+    /// boolean ablation surface; [`Self::final_merge`] selects among all
+    /// strategies.
     pub fn balanced_final_merge(mut self, on: bool) -> Self {
-        self.balanced_final_merge = on;
+        self.final_merge = if on {
+            FinalMergeAlgo::Balanced
+        } else {
+            FinalMergeAlgo::SequentialKway
+        };
+        self
+    }
+
+    /// Selects the final-merge strategy.
+    pub fn final_merge(mut self, algo: FinalMergeAlgo) -> Self {
+        self.final_merge = algo;
         self
     }
 
@@ -139,5 +216,31 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_factor_rejected() {
         let _ = SortConfig::default().sample_factor(0.0);
+    }
+
+    #[test]
+    fn balanced_final_merge_bool_maps_to_enum() {
+        assert_eq!(
+            SortConfig::default().balanced_final_merge(true).final_merge,
+            FinalMergeAlgo::Balanced
+        );
+        assert_eq!(
+            SortConfig::default().balanced_final_merge(false).final_merge,
+            FinalMergeAlgo::SequentialKway
+        );
+        assert_eq!(
+            SortConfig::default()
+                .final_merge(FinalMergeAlgo::ParallelKway)
+                .final_merge,
+            FinalMergeAlgo::ParallelKway
+        );
+    }
+
+    #[test]
+    fn algo_names_are_unique() {
+        let mut names: Vec<&str> = LocalSortAlgo::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LocalSortAlgo::ALL.len());
     }
 }

@@ -1,8 +1,10 @@
 //! The six-step distributed sample sort (§IV).
 //!
-//! 1. **local sort** — parallel quicksort: data divided evenly among the
-//!    machine's worker threads, per-worker quicksort, Fig. 2 balanced
-//!    pairwise merge.
+//! 1. **local sort** — data divided evenly among the machine's worker
+//!    threads, per-worker kernel (quicksort, TimSort, super scalar sample
+//!    sort, in-place samplesort, or LSD radix for radix-capable keys —
+//!    [`LocalSortAlgo`]), chunks combined with a splitter-planned parallel
+//!    k-way merge into a pool-recycled buffer.
 //! 2. **sampling** — regular samples (buffer-sized rule) sent to master.
 //! 3. **splitters** — master merges the sample runs and broadcasts the
 //!    `p − 1` regular splitters.
@@ -10,21 +12,28 @@
 //!    locally sorted data → `p` contiguous send ranges.
 //! 5. **exchange** — asynchronous offset-addressed all-to-all through the
 //!    data-manager buffers (send while receive).
-//! 6. **final merge** — Fig. 2 balanced merge of the per-source sorted
-//!    runs.
+//! 6. **final merge** — per-source sorted runs combined by the configured
+//!    [`FinalMergeAlgo`]: Fig. 2 balanced merge tree (default), a
+//!    sequential loser-tree k-way merge, or the splitter-planned parallel
+//!    k-way merge.
 //!
 //! The result is globally sorted across machines: machine 0 holds the
 //! smallest keys, machine `p − 1` the largest, every machine's slice
 //! locally sorted.
 
-use crate::config::{LocalSortAlgo, SortConfig};
+use crate::config::{FinalMergeAlgo, LocalSortAlgo, SortConfig, AUTO_RADIX_MIN};
 use crate::investigator::splitter_offsets;
 use crate::item::{tag_with_provenance, Keyed};
 use crate::sampling::{select_regular_samples, select_splitters};
 use pgxd::machine::MachineCtx;
-use pgxd_algos::kway::kway_merge;
-use pgxd_algos::merge::{balanced_merge, sort_chunks_and_merge};
+use pgxd::task::TaskManager;
+use pgxd_algos::exec::{even_chunk_bounds, MIN_ITEMS_PER_WORKER};
+use pgxd_algos::ipssort::{in_place_sample_sort_stats_into, IpsStats};
+use pgxd_algos::kway::{kway_merge, kway_merge_into};
+use pgxd_algos::merge::{balanced_merge, plan_multiway_splits, PARALLEL_MERGE_CUTOFF};
 use pgxd_algos::quicksort::quicksort;
+use pgxd_algos::radix::RadixDispatch;
+use pgxd_algos::ssssort::super_scalar_sample_sort_with_scratch;
 use pgxd_algos::timsort::timsort;
 use pgxd_algos::Key;
 
@@ -53,6 +62,181 @@ pub mod steps {
         EXCHANGE,
         FINAL_MERGE,
     ];
+}
+
+/// Resolves [`LocalSortAlgo::Auto`] against the key type and input size:
+/// radix for radix-capable keys past [`AUTO_RADIX_MIN`] elements, in-place
+/// samplesort otherwise. Concrete algorithms pass through unchanged.
+fn resolve_local_algo<T: Key>(algo: LocalSortAlgo, n: usize) -> LocalSortAlgo {
+    match algo {
+        LocalSortAlgo::Auto => {
+            if <T as RadixDispatch>::radix_capable() && n >= AUTO_RADIX_MIN {
+                LocalSortAlgo::Radix
+            } else {
+                LocalSortAlgo::InPlaceSampleSort
+            }
+        }
+        other => other,
+    }
+}
+
+/// Step 1 driver: sorts `data` with the configured kernel across the
+/// machine's worker pool and combines the per-worker runs with a
+/// splitter-planned parallel k-way merge.
+///
+/// Returns `(sorted, pooled)`: when `pooled` the buffer was acquired from
+/// the machine's [`ChunkPool`](pgxd::pool::ChunkPool) and the caller must
+/// hand it back with `ctx.pool().release(..)` once the exchange has
+/// consumed it (the custody checker treats an unreleased chunk at teardown
+/// as a protocol bug). No barrier sits between step 1 and the exchange, so
+/// holding the chunk across steps 2–5 is legal.
+fn run_local_sort<T: Key>(ctx: &MachineCtx, algo: LocalSortAlgo, data: Vec<T>) -> (Vec<T>, bool) {
+    let n = data.len();
+    if n < 2 {
+        return (data, false);
+    }
+    let algo = resolve_local_algo::<T>(algo, n);
+    let workers = ctx.workers().max(1).min((n / MIN_ITEMS_PER_WORKER).max(1));
+    let (chunked, bounds) = match algo {
+        LocalSortAlgo::Radix => match T::radix_sort_chunks(data, workers) {
+            Ok(pair) => pair,
+            // Key type without a radix image: comparison fast path.
+            Err(data) => {
+                sort_comparison_chunks(ctx, LocalSortAlgo::InPlaceSampleSort, data, workers)
+            }
+        },
+        other => sort_comparison_chunks(ctx, other, data, workers),
+    };
+    if bounds.len() <= 2 {
+        return (chunked, false);
+    }
+    let mut out = ctx.pool().acquire::<T>(n);
+    out.resize(n, chunked[0]);
+    ctx.phase_scope("local.merge", || {
+        merge_runs_with_tasks(ctx.tasks(), &chunked, &bounds, &mut out, workers)
+    });
+    (out, true)
+}
+
+/// Sorts `data` in `workers` even chunks, each chunk by the given
+/// comparison kernel on the machine's task pool. Returns the chunk-sorted
+/// buffer and the chunk bounds.
+fn sort_comparison_chunks<T: Key>(
+    ctx: &MachineCtx,
+    algo: LocalSortAlgo,
+    mut data: Vec<T>,
+    workers: usize,
+) -> (Vec<T>, Vec<usize>) {
+    let bounds = even_chunk_bounds(data.len(), workers);
+    let chunks = bounds.len() - 1;
+    let mut stats = vec![IpsStats::default(); chunks];
+    {
+        let pool = ctx.pool();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
+        let mut rest: &mut [T] = &mut data;
+        for (w, stat) in bounds.windows(2).zip(stats.iter_mut()) {
+            let taken = std::mem::take(&mut rest);
+            let (chunk, tail) = taken.split_at_mut(w[1] - w[0]);
+            rest = tail;
+            tasks.push(Box::new(move || match algo {
+                LocalSortAlgo::ParallelQuicksort => quicksort(chunk),
+                LocalSortAlgo::Timsort => timsort(chunk),
+                LocalSortAlgo::SuperScalarSampleSort => {
+                    let mut scratch = pool.acquire::<T>(chunk.len());
+                    super_scalar_sample_sort_with_scratch(chunk, &mut scratch);
+                    pool.release(scratch);
+                }
+                LocalSortAlgo::InPlaceSampleSort => in_place_sample_sort_stats_into(chunk, stat),
+                LocalSortAlgo::Radix | LocalSortAlgo::Auto => {
+                    unreachable!("resolved before kernel dispatch")
+                }
+            }));
+        }
+        if tasks.len() == 1 {
+            // One chunk: run inline instead of shipping it to the pool.
+            tasks.pop().expect("one task")();
+        } else {
+            ctx.tasks().run_tasks(tasks);
+        }
+    }
+    if algo == LocalSortAlgo::InPlaceSampleSort {
+        let mut total = IpsStats::default();
+        for s in &stats {
+            total.merge(s);
+        }
+        ctx.phase_note("local.classify", total.classify_ns);
+        ctx.phase_note("local.permute", total.permute_ns);
+    }
+    (data, bounds)
+}
+
+/// Merges the sorted runs `data[bounds[i]..bounds[i+1]]` into `out`
+/// (same total length) using the machine's task pool: the output is cut
+/// into `workers` splitter-planned ranges
+/// ([`plan_multiway_splits`]) and each range is k-way merged
+/// independently. Small inputs fall back to one sequential merge.
+fn merge_runs_with_tasks<T: Key>(
+    tasks: &TaskManager,
+    data: &[T],
+    bounds: &[usize],
+    out: &mut [T],
+    workers: usize,
+) {
+    let runs: Vec<&[T]> = bounds.windows(2).map(|w| &data[w[0]..w[1]]).collect();
+    if workers <= 1 || out.len() < PARALLEL_MERGE_CUTOFF {
+        kway_merge_into(&runs, out);
+        return;
+    }
+    let rows = plan_multiway_splits(&runs, workers);
+    let mut boxed: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+    let mut rest: &mut [T] = out;
+    for pair in rows.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        let part_len: usize = lo.iter().zip(hi.iter()).map(|(&a, &b)| b - a).sum();
+        let taken = std::mem::take(&mut rest);
+        let (segment, tail) = taken.split_at_mut(part_len);
+        rest = tail;
+        if part_len == 0 {
+            continue;
+        }
+        let part_runs: Vec<&[T]> = runs
+            .iter()
+            .zip(lo.iter().zip(hi.iter()))
+            .map(|(run, (&a, &b))| &run[a..b])
+            .collect();
+        boxed.push(Box::new(move || kway_merge_into(&part_runs, segment)));
+    }
+    tasks.run_tasks(boxed);
+}
+
+/// Step 6 driver: combines the per-source sorted runs
+/// `data[bounds[i]..bounds[i+1]]` by the configured strategy. The output
+/// is always a plain (non-pooled) `Vec` — it leaves the machine as the
+/// sort result, past the pool's custody horizon.
+fn final_merge_runs<T: Key>(
+    ctx: &MachineCtx,
+    algo: FinalMergeAlgo,
+    data: Vec<T>,
+    bounds: &[usize],
+    workers: usize,
+) -> Vec<T> {
+    match algo {
+        FinalMergeAlgo::Balanced => balanced_merge(data, bounds, workers),
+        FinalMergeAlgo::SequentialKway => {
+            let runs: Vec<&[T]> = bounds.windows(2).map(|w| &data[w[0]..w[1]]).collect();
+            kway_merge(&runs)
+        }
+        FinalMergeAlgo::ParallelKway => {
+            if data.len() < 2 || bounds.len() <= 2 {
+                return data;
+            }
+            let mut out = vec![data[0]; data.len()];
+            ctx.phase_scope("final.merge", || {
+                merge_runs_with_tasks(ctx.tasks(), &data, bounds, &mut out, workers)
+            });
+            out
+        }
+    }
 }
 
 /// Internal record wrapper ordering *only* by key, so payload types need
@@ -246,28 +430,21 @@ impl DistSorter {
             return Vec::new();
         }
 
-        // Step 1: local sort, per batch.
+        // Step 1: local sort, per batch. Each entry keeps its "pooled"
+        // flag so the buffers can be returned to the chunk pool once the
+        // combined send array has been built.
         let local_algo = self.config.local_sort;
-        let sorted: Vec<Vec<K>> = ctx.step(steps::LOCAL_SORT, move |_| {
+        let sorted: Vec<(Vec<K>, bool)> = ctx.step(steps::LOCAL_SORT, move |ctx| {
             locals
                 .into_iter()
-                .map(|batch| {
-                    sort_chunks_and_merge(batch, workers, |chunk| match local_algo {
-                        LocalSortAlgo::ParallelQuicksort => quicksort(chunk),
-                        LocalSortAlgo::Timsort => timsort(chunk),
-                        LocalSortAlgo::SuperScalarSampleSort => {
-                            let s = pgxd_algos::ssssort::super_scalar_sample_sort(chunk.to_vec());
-                            chunk.copy_from_slice(&s);
-                        }
-                    })
-                })
+                .map(|batch| run_local_sort(ctx, local_algo, batch))
                 .collect()
         });
 
         // Step 2: ONE gather carrying every batch's samples, batch-tagged.
         let sample_runs = ctx.step(steps::SAMPLING, |ctx| {
             let mut tagged: Vec<(u32, K)> = Vec::new();
-            for (b, batch) in sorted.iter().enumerate() {
+            for (b, (batch, _)) in sorted.iter().enumerate() {
                 let count = self.config.samples_per_machine(
                     ctx.buffer_bytes(),
                     p * num_batches, // the buffer budget is shared
@@ -317,7 +494,7 @@ impl DistSorter {
             let per_batch_offsets: Vec<Vec<usize>> = sorted
                 .iter()
                 .zip(&all_splitters)
-                .map(|(batch, splitters)| {
+                .map(|((batch, _), splitters)| {
                     if splitters.is_empty() && p > 1 {
                         let mut off = vec![0usize; p + 1];
                         for slot in off.iter_mut().skip(1) {
@@ -329,12 +506,12 @@ impl DistSorter {
                     }
                 })
                 .collect();
-            let total: usize = sorted.iter().map(|s| s.len()).sum();
+            let total: usize = sorted.iter().map(|(s, _)| s.len()).sum();
             let mut combined: Vec<(u32, K)> = Vec::with_capacity(total);
             let mut send_offsets = Vec::with_capacity(p + 1);
             send_offsets.push(0);
             for dst in 0..p {
-                for (b, batch) in sorted.iter().enumerate() {
+                for (b, (batch, _)) in sorted.iter().enumerate() {
                     let off = &per_batch_offsets[b];
                     let tag = b as u32;
                     combined.extend(batch[off[dst]..off[dst + 1]].iter().map(|&k| (tag, k)));
@@ -343,7 +520,13 @@ impl DistSorter {
             }
             (combined, send_offsets)
         });
-        drop(sorted);
+        // The combined send array owns a copy of every batch: pooled
+        // step-1 buffers can go back to the chunk pool now.
+        for (buf, pooled) in sorted {
+            if pooled {
+                ctx.pool().release(buf);
+            }
+        }
 
         // Step 5: ONE exchange for all batches.
         let (received, source_bounds) = ctx.step(steps::EXCHANGE, |ctx| {
@@ -351,9 +534,9 @@ impl DistSorter {
         });
         drop(combined);
 
-        // Step 6: split each source run by batch tag, then balanced-merge
-        // each batch's per-source runs.
-        ctx.step(steps::FINAL_MERGE, move |_| {
+        // Step 6: split each source run by batch tag, then merge each
+        // batch's per-source runs with the configured strategy.
+        ctx.step(steps::FINAL_MERGE, move |ctx| {
             (0..num_batches)
                 .map(|b| {
                     let tag = b as u32;
@@ -366,13 +549,8 @@ impl DistSorter {
                         data.extend(run[lo..hi].iter().map(|&(_, k)| k));
                         bounds.push(data.len());
                     }
-                    let merged = if self.config.balanced_final_merge {
-                        balanced_merge(data, &bounds, workers)
-                    } else {
-                        let runs: Vec<&[K]> =
-                            bounds.windows(2).map(|w| &data[w[0]..w[1]]).collect();
-                        kway_merge(&runs)
-                    };
+                    let merged =
+                        final_merge_runs(ctx, self.config.final_merge, data, &bounds, workers);
                     SortedPartition {
                         data: merged,
                         splitters: all_splitters[b].clone(),
@@ -386,18 +564,11 @@ impl DistSorter {
         let p = ctx.num_machines();
         let workers = ctx.workers();
 
-        // Step 1: local parallel sort (chunk → quicksort → balanced merge).
+        // Step 1: local parallel sort (chunk → kernel → parallel k-way
+        // merge into a pool-recycled buffer).
         let local_algo = self.config.local_sort;
-        let sorted = ctx.step(steps::LOCAL_SORT, move |_| {
-            sort_chunks_and_merge(local, workers, |chunk| match local_algo {
-                LocalSortAlgo::ParallelQuicksort => quicksort(chunk),
-                LocalSortAlgo::Timsort => timsort(chunk),
-                LocalSortAlgo::SuperScalarSampleSort => {
-                    let sorted =
-                        pgxd_algos::ssssort::super_scalar_sample_sort(chunk.to_vec());
-                    chunk.copy_from_slice(&sorted);
-                }
-            })
+        let (sorted, sorted_pooled) = ctx.step(steps::LOCAL_SORT, move |ctx| {
+            run_local_sort(ctx, local_algo, local)
         });
 
         // Step 2: regular samples to master (buffer-sized rule, §IV-B).
@@ -434,20 +605,17 @@ impl DistSorter {
         // Step 5: asynchronous offset-addressed exchange.
         let (received, source_bounds) =
             ctx.step(steps::EXCHANGE, |ctx| ctx.exchange_by_offsets(&sorted, &offsets));
-        drop(sorted);
+        if sorted_pooled {
+            // The exchange consumed the pooled step-1 buffer: hand the
+            // chunk back before the teardown quiescence check.
+            ctx.pool().release(sorted);
+        } else {
+            drop(sorted);
+        }
 
-        // Step 6: balanced merge of the per-source sorted runs.
-        let merged = ctx.step(steps::FINAL_MERGE, move |_| {
-            if self.config.balanced_final_merge {
-                balanced_merge(received, &source_bounds, workers)
-            } else {
-                // Ablation: sequential k-way loser-tree merge.
-                let runs: Vec<&[T]> = source_bounds
-                    .windows(2)
-                    .map(|w| &received[w[0]..w[1]])
-                    .collect();
-                kway_merge(&runs)
-            }
+        // Step 6: merge of the per-source sorted runs.
+        let merged = ctx.step(steps::FINAL_MERGE, move |ctx| {
+            final_merge_runs(ctx, self.config.final_merge, received, &source_bounds, workers)
         });
 
         SortedPartition {
@@ -669,6 +837,143 @@ mod tests {
                 19,
             );
             assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn ipssort_local_sort_agrees() {
+        for dist in Distribution::ALL {
+            let (results, expect) = run_sort(
+                3,
+                2,
+                dist,
+                25_000,
+                SortConfig::default().local_sort(LocalSortAlgo::InPlaceSampleSort),
+                61,
+            );
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn radix_local_sort_agrees() {
+        for dist in [Distribution::Uniform, Distribution::Exponential] {
+            let (results, expect) = run_sort(
+                3,
+                4,
+                dist,
+                60_000,
+                SortConfig::default().local_sort(LocalSortAlgo::Radix),
+                63,
+            );
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn auto_local_sort_agrees_across_sizes() {
+        // Below and above AUTO_RADIX_MIN per machine: both routes of the
+        // Auto heuristic must agree with the expected order.
+        for n in [6_000usize, 150_000] {
+            let (results, expect) = run_sort(
+                2,
+                4,
+                Distribution::RightSkewed,
+                n,
+                SortConfig::default().local_sort(LocalSortAlgo::Auto),
+                65,
+            );
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn radix_falls_back_for_non_radix_keys() {
+        // (u64, u64) pairs have no radix image: Radix must silently take
+        // the comparison path and still sort correctly.
+        let machines = 3;
+        let parts = generate_partitioned(Distribution::Uniform, 30_000, machines, 67);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter =
+            DistSorter::new(SortConfig::default().local_sort(LocalSortAlgo::Radix));
+        let report = cluster.run(|ctx| {
+            let local: Vec<(u64, u64)> = parts[ctx.id()]
+                .iter()
+                .map(|&k| (k, k ^ 0xabcd))
+                .collect();
+            sorter.sort_pairs(ctx, local).data
+        });
+        let flat: Vec<(u64, u64)> = report.results.concat();
+        assert_eq!(flat.len(), 30_000);
+        assert!(flat.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(flat.iter().all(|&(k, v)| v == k ^ 0xabcd));
+    }
+
+    #[test]
+    fn every_local_algo_sorts_tiny_inputs() {
+        for algo in LocalSortAlgo::ALL {
+            for n in [0usize, 1, 5] {
+                let (results, expect) = run_sort(
+                    3,
+                    2,
+                    Distribution::Uniform,
+                    n,
+                    SortConfig::default().local_sort(algo),
+                    71,
+                );
+                assert_globally_sorted(&results, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_kway_final_merge_agrees() {
+        use crate::config::FinalMergeAlgo;
+        for dist in [Distribution::Uniform, Distribution::Exponential] {
+            let (results, expect) = run_sort(
+                4,
+                4,
+                dist,
+                80_000,
+                SortConfig::default()
+                    .final_merge(FinalMergeAlgo::ParallelKway)
+                    .local_sort(LocalSortAlgo::InPlaceSampleSort),
+                73,
+            );
+            assert_globally_sorted(&results, &expect);
+        }
+    }
+
+    #[test]
+    fn batch_sort_with_new_algos_and_parallel_merge() {
+        use crate::config::FinalMergeAlgo;
+        let machines = 3;
+        let batches = [
+            generate_partitioned(Distribution::Uniform, 30_000, machines, 75),
+            generate_partitioned(Distribution::Exponential, 20_000, machines, 76),
+        ];
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(4));
+        let sorter = DistSorter::new(
+            SortConfig::default()
+                .local_sort(LocalSortAlgo::Auto)
+                .final_merge(FinalMergeAlgo::ParallelKway),
+        );
+        let batches_ref = &batches;
+        let report = cluster.run(|ctx| {
+            let locals: Vec<Vec<u64>> =
+                batches_ref.iter().map(|b| b[ctx.id()].clone()).collect();
+            let parts = sorter.sort_batch(ctx, locals);
+            parts.into_iter().map(|p| p.data).collect::<Vec<_>>()
+        });
+        for (b, batch) in batches.iter().enumerate() {
+            let mut expect: Vec<u64> = batch.concat();
+            expect.sort_unstable();
+            let got: Vec<u64> = report
+                .results
+                .iter()
+                .flat_map(|outs| outs[b].clone())
+                .collect();
+            assert_eq!(got, expect, "batch {b}");
         }
     }
 

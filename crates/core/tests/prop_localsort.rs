@@ -1,0 +1,118 @@
+//! Property tests for the local-sort path: every [`LocalSortAlgo`]
+//! variant (and every [`FinalMergeAlgo`]) must produce the same globally
+//! sorted permutation as `sort_unstable`, across uniform, skew-storm
+//! (one hot key dominating a uniform tail) and duplicate-heavy (tiny key
+//! domain) data, plus the empty/single/all-equal edge cases.
+
+use pgxd::cluster::{Cluster, ClusterConfig};
+use pgxd_core::{DistSorter, FinalMergeAlgo, LocalSortAlgo, SortConfig};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Runs the full distributed sort over `machines` shards of `data` with
+/// the given config and returns the concatenated global output.
+fn dist_sort(data: &[u64], machines: usize, workers: usize, config: SortConfig) -> Vec<u64> {
+    let bounds = pgxd_algos::exec::even_chunk_bounds(data.len(), machines);
+    let shards: Vec<Vec<u64>> = bounds
+        .windows(2)
+        .map(|w| data[w[0]..w[1]].to_vec())
+        .collect();
+    let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(workers));
+    let sorter = DistSorter::new(config);
+    let report = cluster.run(|ctx| sorter.sort(ctx, shards[ctx.id()].clone()).data);
+    report.results.concat()
+}
+
+fn sorted_copy(v: &[u64]) -> Vec<u64> {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    s
+}
+
+/// Uniform keys over the full u64 domain.
+fn uniform(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    pvec(any::<u64>(), 0..max_len)
+}
+
+/// Skew storm: one hot key claims most slots, a uniform tail the rest —
+/// the distribution that collapses naive sample sort (Fig. 3b).
+fn skew_storm(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    pvec(
+        prop_oneof![4 => Just(0xdead_beefu64), 1 => any::<u64>()],
+        0..max_len,
+    )
+}
+
+/// Duplicate heavy: keys drawn from a tiny domain, so every splitter is a
+/// duplicate and the investigator must split equal-key ranges.
+fn duplicate_heavy(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    pvec(0u64..4, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_local_algo_matches_std_uniform(v in uniform(4000)) {
+        let expect = sorted_copy(&v);
+        for algo in LocalSortAlgo::ALL {
+            let got = dist_sort(&v, 3, 2, SortConfig::default().local_sort(algo));
+            prop_assert_eq!(&got, &expect, "algo {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn every_local_algo_matches_std_skew_storm(v in skew_storm(4000)) {
+        let expect = sorted_copy(&v);
+        for algo in LocalSortAlgo::ALL {
+            let got = dist_sort(&v, 3, 2, SortConfig::default().local_sort(algo));
+            prop_assert_eq!(&got, &expect, "algo {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn every_local_algo_matches_std_duplicate_heavy(v in duplicate_heavy(4000)) {
+        let expect = sorted_copy(&v);
+        for algo in LocalSortAlgo::ALL {
+            let got = dist_sort(&v, 3, 2, SortConfig::default().local_sort(algo));
+            prop_assert_eq!(&got, &expect, "algo {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn every_final_merge_matches_std(v in uniform(4000)) {
+        let expect = sorted_copy(&v);
+        for merge in [
+            FinalMergeAlgo::Balanced,
+            FinalMergeAlgo::SequentialKway,
+            FinalMergeAlgo::ParallelKway,
+        ] {
+            let got = dist_sort(
+                &v,
+                3,
+                2,
+                SortConfig::default()
+                    .local_sort(LocalSortAlgo::InPlaceSampleSort)
+                    .final_merge(merge),
+            );
+            prop_assert_eq!(&got, &expect, "final merge {}", merge.name());
+        }
+    }
+}
+
+#[test]
+fn every_local_algo_handles_edge_inputs() {
+    let cases: [Vec<u64>; 4] = [
+        Vec::new(),
+        vec![42],
+        vec![7; 500],
+        (0..17u64).rev().collect(),
+    ];
+    for algo in LocalSortAlgo::ALL {
+        for case in &cases {
+            let expect = sorted_copy(case);
+            let got = dist_sort(case, 3, 2, SortConfig::default().local_sort(algo));
+            assert_eq!(got, expect, "algo {} on {case:?}", algo.name());
+        }
+    }
+}

@@ -162,6 +162,31 @@ impl MachineCtx {
         self.timer.record(name, elapsed);
     }
 
+    /// Times `f` as a [`EventKind::SortPhase`] span under `name` on the
+    /// mainline lane — a sub-step phase (classify/permute/merge) nested
+    /// inside a [`Self::step`] Gantt row. Free when tracing is off.
+    pub fn phase_scope<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let Some(t) = &self.trace else {
+            return f();
+        };
+        let name_id = t.intern(name);
+        let t0 = t.now_ns();
+        let out = f();
+        t.span_since(LANE_MAIN, EventKind::SortPhase, t0, name_id, 0);
+        out
+    }
+
+    /// Records an already-aggregated phase duration (e.g. classify time
+    /// summed across worker chunks) as a [`EventKind::SortPhase`] instant
+    /// with the nanoseconds in the detail payload. No-op when tracing is
+    /// off.
+    pub fn phase_note(&self, name: &'static str, ns: u64) {
+        if let Some(t) = &self.trace {
+            let name_id = t.intern(name);
+            t.instant(LANE_MAIN, EventKind::SortPhase, name_id, ns);
+        }
+    }
+
     /// This machine's recorded step timings.
     pub fn timer(&self) -> &StepTimer {
         &self.timer

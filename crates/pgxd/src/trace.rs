@@ -150,6 +150,10 @@ pub enum EventKind {
     /// A protocol-checker verdict (`a` = [`violation`] code), emitted
     /// just before the checker panics.
     Checker,
+    /// One local-sort phase within a step (`a` = interned name id,
+    /// `b` = kind-specific detail in nanoseconds for aggregated notes).
+    /// Span when emitted via `span_since`, instant for accumulated notes.
+    SortPhase,
 }
 
 impl EventKind {
@@ -166,6 +170,7 @@ impl EventKind {
             EventKind::PoolHit => 9,
             EventKind::PoolMiss => 10,
             EventKind::Checker => 11,
+            EventKind::SortPhase => 12,
         }
     }
 
@@ -182,6 +187,7 @@ impl EventKind {
             9 => EventKind::PoolHit,
             10 => EventKind::PoolMiss,
             11 => EventKind::Checker,
+            12 => EventKind::SortPhase,
             _ => return None,
         })
     }
@@ -190,7 +196,11 @@ impl EventKind {
     pub fn is_span(self) -> bool {
         matches!(
             self,
-            EventKind::Step | EventKind::Barrier | EventKind::Task | EventKind::RecvLoop
+            EventKind::Step
+                | EventKind::Barrier
+                | EventKind::Task
+                | EventKind::RecvLoop
+                | EventKind::SortPhase
         )
     }
 
@@ -208,6 +218,7 @@ impl EventKind {
             EventKind::PoolHit => "pool_hit",
             EventKind::PoolMiss => "pool_miss",
             EventKind::Checker => "checker",
+            EventKind::SortPhase => "sort_phase",
         }
     }
 
@@ -223,6 +234,7 @@ impl EventKind {
             | EventKind::ChunkPlace => "chunk",
             EventKind::PoolHit | EventKind::PoolMiss => "pool",
             EventKind::Checker => "checker",
+            EventKind::SortPhase => "step",
         }
     }
 
@@ -238,6 +250,7 @@ impl EventKind {
             EventKind::ChunkPlace => ("offset", "bytes"),
             EventKind::PoolHit | EventKind::PoolMiss => ("bytes", "unused"),
             EventKind::Checker => ("violation", "unused"),
+            EventKind::SortPhase => ("name_id", "detail_ns"),
         }
     }
 }
@@ -674,7 +687,7 @@ impl TraceLog {
     /// checker instants, the kind label otherwise.
     pub fn event_name(&self, ev: &TraceEvent) -> String {
         match ev.kind {
-            EventKind::Step => self
+            EventKind::Step | EventKind::SortPhase => self
                 .names
                 .get(ev.a as usize)
                 .cloned()
@@ -1150,10 +1163,45 @@ mod tests {
             EventKind::PoolHit,
             EventKind::PoolMiss,
             EventKind::Checker,
+            EventKind::SortPhase,
         ] {
             assert_eq!(EventKind::from_u64(k.as_u64()), Some(k));
         }
         assert_eq!(EventKind::from_u64(0), None);
         assert_eq!(EventKind::from_u64(999), None);
+    }
+
+    #[test]
+    fn sort_phase_spans_resolve_names_but_stay_off_step_gantt() {
+        let c = TraceCollector::new(1, 1, TraceConfig::enabled().ring_capacity(8));
+        let m = c.machine(0);
+        let step_id = m.intern("local_sort");
+        let phase_id = m.intern("local.classify");
+        let t0 = m.now_ns();
+        m.span_since(LANE_MAIN, EventKind::SortPhase, t0, phase_id, 0);
+        m.span_since(LANE_MAIN, EventKind::Step, t0, step_id, 0);
+        m.instant(LANE_MAIN, EventKind::SortPhase, phase_id, 1234);
+        let log = c.collect();
+        assert_eq!(log.events.len(), 3);
+        let phase_spans: Vec<&TraceEvent> = log
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SortPhase)
+            .collect();
+        assert_eq!(phase_spans.len(), 2);
+        for e in &phase_spans {
+            assert_eq!(log.event_name(e), "local.classify");
+        }
+        // The step Gantt view stays a pure §IV step view.
+        let gantt = log.step_gantt();
+        assert_eq!(gantt.len(), 1);
+        assert_eq!(gantt[0].name, "local_sort");
+        // Instants carry the aggregated nanoseconds in the detail payload.
+        let note = log
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::SortPhase && e.dur_ns == 0)
+            .expect("phase note present");
+        assert_eq!(note.b, 1234);
     }
 }

@@ -128,6 +128,9 @@ pub fn in_place_sample_sort_stats_into<T: Key>(data: &mut [T], stats: &mut IpsSt
 /// The distributed runtime drives the same two stages itself (so the merge
 /// output can come from its chunk pool); this entry point is the
 /// self-contained version for standalone use and benches.
+// analyze: allow(panic-surface): chunk bounds come from even_chunk_bounds
+// over data.len(), and the per-worker stats mutexes are function-local —
+// poison means a kernel already panicked.
 pub fn in_place_sample_sort_par<T: Key>(data: &mut [T], workers: usize) -> IpsStats {
     let n = data.len();
     let workers = workers.max(1).min((n / exec::MIN_ITEMS_PER_WORKER).max(1));
@@ -155,6 +158,9 @@ pub fn in_place_sample_sort_par<T: Key>(data: &mut [T], workers: usize) -> IpsSt
     total
 }
 
+// analyze: allow(panic-surface): bucket counts, offsets, and block indices
+// are all derived from one counting pass over this same slice — the
+// classifier/permute invariants keep every index in range.
 fn sort_rec<T: Key>(data: &mut [T], depth: usize, scratch: &mut Scratch<T>, stats: &mut IpsStats) {
     let n = data.len();
     if n <= INSERTION_CASE {
@@ -321,6 +327,8 @@ fn sort_rec<T: Key>(data: &mut [T], depth: usize, scratch: &mut Scratch<T>, stat
 }
 
 /// Swaps the `BLOCK`-element blocks at block indices `i` and `j`.
+// analyze: allow(panic-surface): block indices are produced by the permute
+// walk and bounded by data.len() / BLOCK.
 fn swap_blocks<T: Copy>(data: &mut [T], i: usize, j: usize) {
     debug_assert_ne!(i, j);
     let (lo, hi) = if i < j { (i, j) } else { (j, i) };
@@ -331,6 +339,9 @@ fn swap_blocks<T: Copy>(data: &mut [T], i: usize, j: usize) {
 /// In-order fill of the Eytzinger layout from the *sample*: node `node`'s
 /// subtree receives the next regular sample positions in sorted order
 /// (splitter `i` is `sample[(i + 1) * len / NUM_BUCKETS]`).
+// analyze: allow(panic-surface): the in-order walk visits exactly
+// tree.len() < NUM_BUCKETS nodes, so the regular-sample index stays below
+// sample.len().
 fn fill_tree_from_sample<T: Copy>(sample: &[T], tree: &mut [T], node: usize, idx: &mut usize) {
     if node >= tree.len() {
         return;

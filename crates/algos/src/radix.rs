@@ -86,6 +86,8 @@ pub fn radix_sort_with_scratch<T: RadixKey>(data: &mut [T], scratch: &mut Vec<T>
 /// One counting pass: scatters `src` into `dst` by digit `pass`. Returns
 /// `false` without writing when the pass is degenerate (every key shares
 /// the digit), so the caller keeps its source/destination roles.
+// analyze: allow(panic-surface): digits are u8 so the 256-entry count and
+// offset tables cannot be out-indexed, and dst is the same length as src.
 fn radix_pass<T: RadixKey>(src: &[T], dst: &mut [T], pass: usize) -> bool {
     let n = src.len();
     let mut counts = [0usize; 256];
@@ -131,6 +133,9 @@ impl<K: Key> RadixDispatch for K {
         id == TypeId::of::<u64>() || id == TypeId::of::<u32>() || id == TypeId::of::<i64>()
     }
 
+    // analyze: allow(panic-surface): every downcast is guarded by the
+    // TypeId comparison on the line above it — the box always holds the
+    // type named in the expect.
     fn radix_sort_chunks(data: Vec<K>, workers: usize) -> Result<(Vec<K>, Vec<usize>), Vec<K>> {
         fn go<T: RadixKey + Key>(data: Vec<T>, workers: usize) -> (Vec<T>, Vec<usize>) {
             let mut data = data;
@@ -179,6 +184,8 @@ impl<K: Key> RadixDispatch for K {
 
 /// Convenience: full parallel radix sort (chunk passes + parallel k-way
 /// merge). `Err` returns the input untouched for non-radix key types.
+// analyze: allow(panic-surface): run bounds come from even_chunk_bounds
+// over the data length, so every bounds window indexes in range.
 pub fn try_parallel_radix_sort<K: Key>(data: Vec<K>, workers: usize) -> Result<Vec<K>, Vec<K>> {
     let (chunked, bounds) = K::radix_sort_chunks(data, workers)?;
     if bounds.len() <= 2 {

@@ -135,7 +135,7 @@ fn is_ident(t: &str) -> bool {
 
 /// First `}` after `from` closing the block whose *contents* sit at
 /// `inner_depth`, clipped to `end`.
-fn block_close(pf: &ParsedFile, from: usize, inner_depth: usize, end: usize) -> usize {
+pub(crate) fn block_close(pf: &ParsedFile, from: usize, inner_depth: usize, end: usize) -> usize {
     if inner_depth == 0 {
         return end;
     }
@@ -907,12 +907,20 @@ const PANIC_MARKER: &str = "analyze: allow(panic-surface)";
 /// that line starts a `fn` — the whole function body. The marker must carry
 /// a non-empty reason after the colon.
 fn allowed_lines(pf: &ParsedFile) -> BTreeSet<usize> {
+    marker_allowed_lines(pf, PANIC_MARKER)
+}
+
+/// Same coverage rules as panic-surface annotations, for any inline
+/// marker (`analyze: allow(<rule>)`): own line, next code line, or the
+/// whole function body when the next code line starts a `fn`. The reason
+/// after the colon is mandatory everywhere.
+pub(crate) fn marker_allowed_lines(pf: &ParsedFile, marker: &str) -> BTreeSet<usize> {
     let mut out = BTreeSet::new();
     for (li, comment) in pf.stripped.comments.iter().enumerate() {
-        let Some(pos) = comment.find(PANIC_MARKER) else {
+        let Some(pos) = comment.find(marker) else {
             continue;
         };
-        let rest = &comment[pos + PANIC_MARKER.len()..];
+        let rest = &comment[pos + marker.len()..];
         let reason = rest.trim_start_matches(':').trim();
         if reason.is_empty() {
             continue; // a reason is mandatory; bare markers cover nothing

@@ -82,6 +82,26 @@ pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
     toks.len() - 1
 }
 
+/// Index of the `)` matching the `(` at `open` (token indices), or the
+/// last token if unbalanced.
+pub fn matching_paren(toks: &[Tok], open: usize) -> usize {
+    debug_assert_eq!(toks[open].text, "(");
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len() - 1
+}
+
 /// Parses one source file into tokens and items.
 pub fn parse_file(rel: &str, source: &str) -> ParsedFile {
     let stripped = strip(source);

@@ -131,7 +131,19 @@ pub fn strip(source: &str) -> StrippedFile {
                 prev_ident = true; // a literal ends like an expression
                 continue;
             }
-            // `r#ident` raw identifier: emit and move on.
+            // `r#ident` raw identifier: drop the `#` so the whole thing
+            // lexes as ONE non-keyword word (`r#fn` must come out as the
+            // identifier `rfn`, never as a stray `#` plus the keyword
+            // `fn`, which would token-spoof the item scanner).
+            if chars.get(i + 1) == Some(&'#')
+                && chars
+                    .get(i + 2)
+                    .is_some_and(|ch| ch.is_alphanumeric() || *ch == '_')
+            {
+                push_code!(c);
+                i += 2;
+                continue;
+            }
             push_code!(c);
             i += 1;
             continue;
@@ -161,7 +173,16 @@ pub fn strip(source: &str) -> StrippedFile {
             i += 1;
             while i < chars.len() {
                 match chars[i] {
-                    '\\' => i += 2,
+                    // An escape consumes the next char too — which may be a
+                    // literal newline (backslash line continuation); it must
+                    // still advance the line counter or every reported line
+                    // number after it drifts by one.
+                    '\\' => {
+                        if chars.get(i + 1) == Some(&'\n') {
+                            newline!();
+                        }
+                        i += 2;
+                    }
                     '"' => {
                         i += 1;
                         break;
@@ -180,9 +201,22 @@ pub fn strip(source: &str) -> StrippedFile {
         // Char literal vs lifetime.
         if c == '\'' {
             if next == Some('\\') {
-                // Escaped char: consume to the closing quote.
+                // Escaped char: consume the backslash AND the escaped
+                // character itself before scanning for the closing quote
+                // (otherwise `'\''` would stop at the escaped quote and
+                // leave the real closing quote behind as a stray token),
+                // counting any newline crossed on malformed input.
                 i += 2;
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        newline!();
+                    }
+                    i += 1;
+                }
                 while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\n' {
+                        newline!();
+                    }
                     i += 1;
                 }
                 i += 1;
@@ -281,6 +315,51 @@ mod tests {
             ["fn", "broadcast", "(", "b", ":", "u8", ")", "{", "let", "x", "=", ";", "let", "y",
              "=", ";", "}"]
         );
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_numbers_exact() {
+        // Three lines inside the raw literal; the token after it must
+        // land on the real source line, hash-count variants included.
+        let src = "let a = r#\"one\ntwo \"quoted\"\nthree\"#;\nlet b = r##\"x\"#\ny\"##;\nfn tail() {}\n";
+        let t = tokens(&strip(src).code);
+        let fn_tok = t.iter().find(|t| t.text == "fn").expect("fn token");
+        assert_eq!(fn_tok.line, 6);
+        let b_tok = t.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b_tok.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comment_keeps_line_numbers_exact() {
+        let src = "/* outer\n /* inner\n  spanning */\n still outer */\nfn after() {}\n";
+        let s = strip(src);
+        assert_eq!(s.code.len(), 6, "one entry per source line plus trailing");
+        let t = tokens(&s.code);
+        assert_eq!(t.iter().find(|t| t.text == "fn").map(|t| t.line), Some(5));
+        assert!(s.comments[1].contains("inner"));
+    }
+
+    #[test]
+    fn string_escaped_newline_counts_the_line() {
+        // A backslash line continuation inside a string literal spans two
+        // source lines; code after the literal must not drift.
+        let src = "let a = \"one \\\ntwo\";\nfn after() {}\n";
+        let t = tokens(&strip(src).code);
+        assert_eq!(t.iter().find(|t| t.text == "fn").map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_fully_consumed() {
+        // `'\''` must not leave the closing quote behind as a stray
+        // lifetime token.
+        assert_eq!(toks("let q = '\\''; let n = '\\n';"), ["let", "q", "=", ";", "let", "n", "=", ";"]);
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_spoof_keywords() {
+        // `r#fn` is an identifier, not the `fn` keyword: the item scanner
+        // must never see a bare `fn` token from it.
+        assert_eq!(toks("let x = r#fn; call(r#match)"), ["let", "x", "=", "rfn", ";", "call", "(", "rmatch", ")"]);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! pgxd-analyze: dependency-free static analysis for the pgxd runtime.
 //!
-//! Three passes over `crates/pgxd/src` (minus the `sync.rs` shim, which is
-//! the sanctioned boundary to the real primitives):
+//! Six passes over `crates/pgxd/src`, `crates/core/src`, and
+//! `crates/algos/src` (minus the `sync.rs` shim, which is the sanctioned
+//! boundary to the real primitives):
 //!
 //! 1. **lock-order** — every guard acquisition through `pgxd::sync`
 //!    (`.lock()`/`.read()`/`.write()` with empty parens) becomes a node;
@@ -12,8 +13,19 @@
 //!    `ChunkPool::acquire`, and joins reachable while a guard is live are
 //!    findings unless `analyze.allow` carries a justified entry.
 //! 3. **panic-surface** — `unwrap`/`expect`/direct indexing in the
-//!    exchange hot path (machine.rs, comm.rs, pool.rs) must carry an
+//!    exchange and local-sort hot paths (machine.rs, comm.rs, pool.rs,
+//!    sorter.rs, ipssort.rs, radix.rs) must carry an
 //!    `analyze: allow(panic-surface): <reason>` annotation.
+//! 4. **chunk-custody** — every `ChunkPool::acquire` must reach exactly
+//!    one release/drop/hand-off on every control-flow path, tracked
+//!    interprocedurally through custody-returning functions; leaks are
+//!    never allowlistable (see [`custody`]).
+//! 5. **wait-graph** — barrier/send/recv sites per §IV step with
+//!    asymmetric-barrier and recv-without-send shape checks (see
+//!    [`waitgraph`]).
+//! 6. **atomics-ordering** — no `Relaxed` publication in the
+//!    seqlock/cursor files without an inline justification (see
+//!    [`atomics`]).
 //!
 //! Everything is built on a hand-rolled lexer (no `syn`), so the crate
 //! compiles offline with no dependencies — same constraint as `xtask`.
@@ -21,21 +33,35 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod atomics;
+pub mod custody;
 pub mod items;
 pub mod lexer;
 pub mod report;
+pub mod waitgraph;
 
 use std::path::{Path, PathBuf};
 
 pub use analysis::{analyze_locks, panic_surface, AnalysisResult, Edge, LockGraph};
+pub use atomics::analyze_atomics;
+pub use custody::analyze_custody;
 pub use items::{parse_file, ParsedFile, UseDecl};
-pub use report::{apply_allowlist, parse_allowlist, render_human, render_json, Finding, Report};
+pub use report::{
+    apply_allowlist, parse_allowlist, render_human, render_json, CustodySummary, Finding, Report,
+};
+pub use waitgraph::analyze_waitgraph;
+
+/// Source roots collected by [`analyze_workspace`], workspace-relative.
+pub const ANALYZED_ROOTS: &[&str] = &["crates/pgxd/src", "crates/core/src", "crates/algos/src"];
 
 /// Files whose panic surface is gated (workspace-relative suffixes).
 pub const PANIC_SURFACE_FILES: &[&str] = &[
     "crates/pgxd/src/machine.rs",
     "crates/pgxd/src/comm.rs",
     "crates/pgxd/src/pool.rs",
+    "crates/core/src/sorter.rs",
+    "crates/algos/src/ipssort.rs",
+    "crates/algos/src/radix.rs",
 ];
 
 /// The sync shim: excluded from analysis — it is the one place allowed to
@@ -43,7 +69,7 @@ pub const PANIC_SURFACE_FILES: &[&str] = &[
 /// runtime lock structure.
 pub const SHIM_FILE: &str = "crates/pgxd/src/sync.rs";
 
-/// Runs all three analyses over in-memory sources.
+/// Runs all six analyses over in-memory sources.
 ///
 /// `sources` is `(workspace-relative path, contents)`. `allow_text` is the
 /// contents of `analyze.allow` (empty string for none).
@@ -59,16 +85,33 @@ pub fn analyze_sources(sources: &[(String, String)], allow_text: &str, allow_pat
             result.findings.extend(panic_surface(pf));
         }
     }
+    let custody = analyze_custody(&files);
+    result.findings.extend(custody.findings);
+    let wait = analyze_waitgraph(&files);
+    result.findings.extend(wait.findings);
+    result.findings.extend(analyze_atomics(&files));
     let entries = parse_allowlist(allow_text);
-    apply_allowlist(result, &entries, allow_path)
+    let mut report = apply_allowlist(result, &entries, allow_path);
+    report.wait_ops = wait.ops;
+    report.step_edges = wait.edges;
+    report.custody = CustodySummary {
+        acquire_sites: custody.acquire_sites,
+        tracked_bindings: custody.tracked_bindings,
+        custody_fns: custody.custody_fns,
+    };
+    report
 }
 
-/// Collects the runtime sources under `root/crates/pgxd/src` and runs the
+/// Collects the runtime sources under [`ANALYZED_ROOTS`] and runs the
 /// analyses with `root/analyze.allow` (missing file = empty allowlist).
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
-    let src_dir = root.join("crates/pgxd/src");
     let mut paths: Vec<PathBuf> = Vec::new();
-    collect_rs(&src_dir, &mut paths)?;
+    for sub in ANALYZED_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
     paths.sort();
     let mut sources = Vec::new();
     for p in paths {

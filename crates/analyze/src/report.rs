@@ -4,11 +4,13 @@
 use std::collections::BTreeSet;
 
 use crate::analysis::{AnalysisResult, Edge};
+use crate::waitgraph::{step_counts, StepEdge, WaitOp};
 
 /// One analyzer finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// `lock-order`, `blocking-under-lock`, `panic-surface`, or
+    /// `lock-order`, `blocking-under-lock`, `panic-surface`,
+    /// `chunk-custody`, `wait-graph`, `atomics-ordering`, or
     /// `stale-allow` / `allow-format` for allowlist hygiene.
     pub rule: String,
     /// Workspace-relative file.
@@ -101,6 +103,18 @@ pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
     out
 }
 
+/// Chunk-custody summary data for the report (the findings themselves
+/// ride in the shared findings list).
+#[derive(Debug, Clone, Default)]
+pub struct CustodySummary {
+    /// Total `ChunkPool::acquire` call sites seen.
+    pub acquire_sites: usize,
+    /// Pooled bindings tracked through a dataflow scan.
+    pub tracked_bindings: usize,
+    /// Functions that hand pooled custody to their caller.
+    pub custody_fns: Vec<String>,
+}
+
 /// Final report after allowlist filtering.
 pub struct Report {
     /// Findings that remain (not allowlisted) — non-empty means failure.
@@ -110,6 +124,12 @@ pub struct Report {
     pub graph_nodes: Vec<String>,
     pub graph_edges: Vec<Edge>,
     pub cycles: Vec<Vec<String>>,
+    /// Wait-graph model: every barrier/send/recv site (v2).
+    pub wait_ops: Vec<WaitOp>,
+    /// §IV step transitions observed inside one function (v2).
+    pub step_edges: Vec<StepEdge>,
+    /// Chunk-custody summary (v2).
+    pub custody: CustodySummary,
 }
 
 impl Report {
@@ -119,7 +139,9 @@ impl Report {
 }
 
 /// Applies the allowlist: suppresses matching findings, errors on stale or
-/// unjustified entries. Lock-order cycles cannot be allowlisted.
+/// unjustified entries. Lock-order cycles and chunk-custody leaks cannot
+/// be allowlisted: a cycle is a deadlock and a leak is a correctness bug,
+/// never a judgment call — fix the code instead.
 pub fn apply_allowlist(
     result: AnalysisResult,
     entries: &[AllowEntry],
@@ -129,7 +151,9 @@ pub fn apply_allowlist(
     let mut allowlisted = Vec::new();
     let mut used: BTreeSet<usize> = BTreeSet::new();
     for f in result.findings {
-        if f.rule == "lock-order" {
+        if f.rule == "lock-order"
+            || (f.rule == "chunk-custody" && f.operation.starts_with("leak("))
+        {
             findings.push(f);
             continue;
         }
@@ -177,6 +201,9 @@ pub fn apply_allowlist(
         graph_nodes: result.graph.nodes,
         graph_edges: result.graph.edges,
         cycles: result.cycles,
+        wait_ops: Vec::new(),
+        step_edges: Vec::new(),
+        custody: CustodySummary::default(),
     }
 }
 
@@ -201,11 +228,14 @@ pub fn render_human(r: &Report) -> String {
         out.push_str(&format!("pgxd-analyze: {} finding(s)", r.findings.len()));
     }
     out.push_str(&format!(
-        " ({} allowlisted, {} lock(s), {} order edge(s), {} cycle(s))\n",
+        " ({} allowlisted, {} lock(s), {} order edge(s), {} cycle(s), {} wait site(s), {} acquire site(s), {} tracked binding(s))\n",
         r.allowlisted.len(),
         r.graph_nodes.len(),
         r.graph_edges.len(),
-        r.cycles.len()
+        r.cycles.len(),
+        r.wait_ops.len(),
+        r.custody.acquire_sites,
+        r.custody.tracked_bindings
     ));
     out
 }
@@ -267,19 +297,67 @@ pub fn render_json(r: &Report) -> String {
         })
         .collect();
     let cycles: Vec<String> = r.cycles.iter().map(|c| json_str_array(c)).collect();
+    let wait_ops: Vec<String> = r
+        .wait_ops
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"kind\":\"{}\",\"file\":\"{}\",\"line\":{},\"function\":\"{}\",\"callee\":\"{}\",\"step\":{}}}",
+                o.kind.name(),
+                esc(&o.file),
+                o.line,
+                esc(&o.function),
+                esc(&o.callee),
+                match &o.step {
+                    Some(s) => format!("\"{}\"", esc(s)),
+                    None => "null".to_string(),
+                }
+            )
+        })
+        .collect();
+    let steps: Vec<String> = step_counts(&r.wait_ops)
+        .into_iter()
+        .map(|(s, b, sd, rc)| {
+            format!(
+                "{{\"step\":\"{}\",\"barriers\":{b},\"sends\":{sd},\"recvs\":{rc}}}",
+                esc(&s)
+            )
+        })
+        .collect();
+    let step_edges: Vec<String> = r
+        .step_edges
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"function\":\"{}\"}}",
+                esc(&e.from),
+                esc(&e.to),
+                esc(&e.function)
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"schema\": \"pgxd-analyze/1\",\n  \"clean\": {},\n  \"findings\": [{}],\n  \"allowlisted\": [{}],\n  \"lock_graph\": {{\"nodes\": {}, \"edges\": [{}]}},\n  \"cycles\": [{}],\n  \"summary\": {{\"findings\": {}, \"allowlisted\": {}, \"locks\": {}, \"edges\": {}, \"cycles\": {}}}\n}}\n",
+        "{{\n  \"schema\": \"pgxd-analyze/2\",\n  \"clean\": {},\n  \"findings\": [{}],\n  \"allowlisted\": [{}],\n  \"lock_graph\": {{\"nodes\": {}, \"edges\": [{}]}},\n  \"cycles\": [{}],\n  \"wait_graph\": {{\"ops\": [{}], \"steps\": [{}], \"step_edges\": [{}]}},\n  \"custody\": {{\"acquire_sites\": {}, \"tracked_bindings\": {}, \"custody_fns\": {}}},\n  \"summary\": {{\"findings\": {}, \"allowlisted\": {}, \"locks\": {}, \"edges\": {}, \"cycles\": {}, \"wait_ops\": {}, \"acquire_sites\": {}, \"tracked_bindings\": {}}}\n}}\n",
         r.is_clean(),
         findings.join(","),
         allowed.join(","),
         json_str_array(&r.graph_nodes),
         edges.join(","),
         cycles.join(","),
+        wait_ops.join(","),
+        steps.join(","),
+        step_edges.join(","),
+        r.custody.acquire_sites,
+        r.custody.tracked_bindings,
+        json_str_array(&r.custody.custody_fns),
         r.findings.len(),
         r.allowlisted.len(),
         r.graph_nodes.len(),
         r.graph_edges.len(),
-        r.cycles.len()
+        r.cycles.len(),
+        r.wait_ops.len(),
+        r.custody.acquire_sites,
+        r.custody.tracked_bindings
     )
 }
 
@@ -350,8 +428,26 @@ mod tests {
         let f = finding(("panic-surface", "a\"b.rs", "A::f", None, "unwrap"));
         let r = apply_allowlist(result(vec![f]), &[], "analyze.allow");
         let j = render_json(&r);
-        assert!(j.contains("\"schema\": \"pgxd-analyze/1\""));
+        assert!(j.contains("\"schema\": \"pgxd-analyze/2\""));
         assert!(j.contains("a\\\"b.rs"));
         assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\"wait_graph\""));
+        assert!(j.contains("\"custody\""));
+    }
+
+    #[test]
+    fn custody_leaks_cannot_be_allowlisted() {
+        let f = finding(("chunk-custody", "a.rs", "A::f", None, "leak(buf)"));
+        let key = f.key();
+        let entries = parse_allowlist(&format!("# nope\n{key}\n"));
+        let r = apply_allowlist(result(vec![f]), &entries, "analyze.allow");
+        assert!(r.findings.iter().any(|f| f.rule == "chunk-custody"));
+        // Double-release stays allowlistable (a judgment call when arms
+        // are provably exclusive in ways the analysis cannot see).
+        let d = finding(("chunk-custody", "a.rs", "A::f", None, "double-release(buf)"));
+        let key = d.key();
+        let entries = parse_allowlist(&format!("# arms are exclusive via invariant X\n{key}\n"));
+        let r = apply_allowlist(result(vec![d]), &entries, "analyze.allow");
+        assert!(r.is_clean(), "{:?}", r.findings);
     }
 }

@@ -1,0 +1,650 @@
+//! Barrier/channel wait-graph pass (`wait-graph`, schema pgxd-analyze/2).
+//!
+//! The §IV protocol is a fixed choreography: every machine walks the
+//! same six steps, and inside a step every barrier must be entered by
+//! all participants and every receive must be fed by a matching send
+//! somewhere on the same step's code path. This pass models the three
+//! wait-site kinds over the machine-level code —
+//!
+//! * **barrier** — `ClusterBarrier::wait` via `Machine::barrier()` /
+//!   `wait_or_unwind()` / a literal `barrier.wait()`,
+//! * **send** — any `.send_*(..)` method call (`send_packet`,
+//!   `send_vec`, `send_shared_vec`, `send_offset_chunk`, …),
+//! * **recv** — any `.recv_*(..)` / `.try_recv_*(..)` method call,
+//!
+//! attributes each site to its enclosing function, tags it with the §IV
+//! step when it sits inside a `ctx.step(steps::X, ..)` region, and
+//! propagates send/recv/barrier *effects* through the local call graph
+//! (so `exchange_by_offsets` is known to send because it drives
+//! `RequestBuffer::push_slice → flush → send_offset_chunk`). Two rules:
+//!
+//! * **asymmetric-barrier** — an `if`/`else` chain or `match` whose
+//!   non-diverging arms enter a barrier a different number of times
+//!   (one path can skip or double-enter a barrier the other waits on —
+//!   a deadlock once PR 6's abort plumbing is off the happy path).
+//!   Compile-time-uniform conditions (`cfg`, ALL-CAPS consts like
+//!   `checker::ENABLED`) are exempt: every machine takes the same arm.
+//! * **recv-without-send** — a function with a direct receive site but
+//!   no send anywhere in its transitive call closure: a shape that can
+//!   only complete if some *other* code path feeds it, which the §IV
+//!   protocol never does (every step pairs its sends and receives in
+//!   the same machine-level function).
+//!
+//! Scope: the machine-level protocol files (`machine.rs`, `cluster.rs`,
+//! `buffer.rs`, `core/sorter.rs`) plus any file carrying an
+//! `analyze: scope(wait-graph)` comment (used by fixtures). The comm
+//! fabric itself (`comm.rs`) and the fault plane stay out: their
+//! send/recv primitives are the *implementation* of the edges this
+//! graph models, not protocol participants.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::analysis::block_close;
+use crate::items::{matching_paren, ParsedFile};
+use crate::report::Finding;
+
+/// Files modeled by the wait-graph (suffix match on workspace paths).
+const WAIT_FILES: [&str; 4] = [
+    "crates/pgxd/src/machine.rs",
+    "crates/pgxd/src/cluster.rs",
+    "crates/pgxd/src/buffer.rs",
+    "crates/core/src/sorter.rs",
+];
+
+/// Marker pulling extra files (fixtures) into scope.
+pub const SCOPE_MARKER: &str = "analyze: scope(wait-graph)";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    Barrier,
+    Send,
+    Recv,
+}
+
+impl OpKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Barrier => "barrier",
+            OpKind::Send => "send",
+            OpKind::Recv => "recv",
+        }
+    }
+}
+
+/// One wait site, attributed to a function and (when inside a
+/// `ctx.step(steps::X, ..)` region) a §IV step.
+#[derive(Debug, Clone)]
+pub struct WaitOp {
+    pub kind: OpKind,
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+    /// Method actually called (`wait_or_unwind`, `recv_packet`, …).
+    pub callee: String,
+    pub step: Option<String>,
+}
+
+/// Step-transition edge: `function` runs step `from` then step `to`.
+#[derive(Debug, Clone)]
+pub struct StepEdge {
+    pub from: String,
+    pub to: String,
+    pub function: String,
+}
+
+pub struct WaitGraph {
+    pub findings: Vec<Finding>,
+    pub ops: Vec<WaitOp>,
+    pub edges: Vec<StepEdge>,
+    /// Functions whose transitive closure sends (for the report).
+    pub senders: Vec<String>,
+}
+
+fn in_scope(pf: &ParsedFile) -> bool {
+    WAIT_FILES.iter().any(|s| pf.rel.ends_with(s))
+        || pf.stripped.comments.iter().any(|c| c.contains(SCOPE_MARKER))
+}
+
+fn classify_call(pf: &ParsedFile, dot: usize) -> Option<(OpKind, String)> {
+    let toks = &pf.toks;
+    let name = toks.get(dot + 1)?.text.as_str();
+    if toks.get(dot + 2).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let recv_ident = dot.checked_sub(1).map(|p| toks[p].text.as_str()).unwrap_or("");
+    let empty_args = toks.get(dot + 3).map(|t| t.text.as_str()) == Some(")");
+    let kind = if name == "wait_or_unwind"
+        || (name == "barrier" && empty_args)
+        || (name == "wait" && recv_ident == "barrier")
+    {
+        OpKind::Barrier
+    } else if name.starts_with("send_") {
+        OpKind::Send
+    } else if name.starts_with("recv_") || name.starts_with("try_recv_") {
+        OpKind::Recv
+    } else {
+        return None;
+    };
+    Some((kind, name.to_string()))
+}
+
+/// `ctx.step(steps::X, ..)` regions in a body: `(start, end, step)` with
+/// the step constant lowercased to match the `steps::` string values.
+fn step_regions(pf: &ParsedFile, body: (usize, usize)) -> Vec<(usize, usize, String)> {
+    let toks = &pf.toks;
+    let mut out = Vec::new();
+    for i in body.0..body.1.saturating_sub(5) {
+        if toks[i].text != "step" || toks[i + 1].text != "(" {
+            continue;
+        }
+        if toks[i + 2].text != "steps" || toks[i + 3].text != ":" || toks[i + 4].text != ":" {
+            continue;
+        }
+        let close = matching_paren(toks, i + 1);
+        out.push((i + 1, close, toks[i + 5].text.to_lowercase()));
+    }
+    out
+}
+
+/// True when the condition/scrutinee tokens are compile-time uniform
+/// across machines: a `cfg` mention or an ALL-CAPS const.
+fn uniform_condition(toks: &[crate::lexer::Tok], range: (usize, usize)) -> bool {
+    toks[range.0..range.1].iter().any(|t| {
+        let s = t.text.as_str();
+        s == "cfg"
+            || (s.len() >= 2
+                && s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && s.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit()))
+    })
+}
+
+/// True when the arm's tokens unconditionally leave the protocol
+/// (return / panic / abort / unreachable / break / continue).
+fn diverging(toks: &[crate::lexer::Tok], range: (usize, usize)) -> bool {
+    toks[range.0..range.1].iter().any(|t| {
+        matches!(
+            t.text.as_str(),
+            "return" | "panic" | "panic_any" | "unreachable" | "abort" | "exit" | "break"
+                | "continue"
+        )
+    })
+}
+
+/// First `{` after `from` with parens balanced, or None.
+fn body_open(pf: &ParsedFile, from: usize, end: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    for j in from..end {
+        match pf.toks[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "{" if paren == 0 => return Some(j),
+            ";" if paren == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+pub fn analyze_waitgraph(files: &[ParsedFile]) -> WaitGraph {
+    let scoped: Vec<&ParsedFile> = files.iter().filter(|pf| in_scope(pf)).collect();
+
+    // Direct sites per function, and the op list.
+    let mut ops: Vec<WaitOp> = Vec::new();
+    let mut direct: HashMap<String, HashSet<OpKind>> = HashMap::new();
+    let mut edges: Vec<StepEdge> = Vec::new();
+    // (fn qualified name, bare name) → index for effect propagation.
+    let mut fn_files: HashMap<String, usize> = HashMap::new();
+
+    for (fi, pf) in scoped.iter().enumerate() {
+        for f in &pf.functions {
+            fn_files.insert(f.name.clone(), fi);
+            if let Some(bare) = f.name.rsplit("::").next() {
+                fn_files.entry(bare.to_string()).or_insert(fi);
+            }
+            let regions = step_regions(pf, f.body);
+            let mut seen_steps: Vec<String> = Vec::new();
+            for (_, _, step) in &regions {
+                if seen_steps.last() != Some(step) {
+                    if let Some(prev) = seen_steps.last() {
+                        edges.push(StepEdge {
+                            from: prev.clone(),
+                            to: step.clone(),
+                            function: f.name.clone(),
+                        });
+                    }
+                    seen_steps.push(step.clone());
+                }
+            }
+            for i in f.body.0..f.body.1 {
+                if pf.toks[i].text != "." {
+                    continue;
+                }
+                let Some((kind, callee)) = classify_call(pf, i) else {
+                    continue;
+                };
+                let step = regions
+                    .iter()
+                    .find(|&&(s, e, _)| i > s && i < e)
+                    .map(|(_, _, st)| st.clone());
+                direct.entry(f.name.clone()).or_default().insert(kind);
+                ops.push(WaitOp {
+                    kind,
+                    file: pf.rel.clone(),
+                    line: pf.toks[i].line,
+                    function: f.name.clone(),
+                    callee,
+                    step,
+                });
+            }
+        }
+    }
+
+    // Effect propagation over the local call graph: `name(` and
+    // `.name(` call tokens that resolve to a scoped function.
+    let mut effects: HashMap<String, HashSet<OpKind>> = direct.clone();
+    loop {
+        let mut grew = false;
+        for pf in &scoped {
+            for f in &pf.functions {
+                for i in f.body.0..f.body.1.saturating_sub(1) {
+                    let t = pf.toks[i].text.as_str();
+                    if pf.toks[i + 1].text != "(" || !fn_files.contains_key(t) || t == f.name {
+                        continue;
+                    }
+                    // Skip the definition site itself (`fn name(`).
+                    if i > 0 && pf.toks[i - 1].text == "fn" {
+                        continue;
+                    }
+                    let callee_effects: Vec<OpKind> = effects
+                        .get(t)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    for k in callee_effects {
+                        let entry = effects.entry(f.name.clone()).or_default();
+                        if entry.insert(k) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Keep bare aliases in sync with their qualified entries.
+        let qualified: Vec<(String, HashSet<OpKind>)> = effects
+            .iter()
+            .filter(|(k, _)| k.contains("::"))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (q, v) in qualified {
+            if let Some(bare) = q.rsplit("::").next() {
+                let entry = effects.entry(bare.to_string()).or_default();
+                for k in &v {
+                    if entry.insert(*k) {
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+
+    // Rule: recv-without-send.
+    for pf in &scoped {
+        for f in &pf.functions {
+            let has_direct_recv = direct.get(&f.name).is_some_and(|s| s.contains(&OpKind::Recv));
+            if !has_direct_recv {
+                continue;
+            }
+            let sends = effects.get(&f.name).is_some_and(|s| s.contains(&OpKind::Send));
+            if sends {
+                continue;
+            }
+            let site = ops
+                .iter()
+                .find(|o| o.function == f.name && o.kind == OpKind::Recv)
+                .expect("direct recv implies a site");
+            findings.push(Finding {
+                rule: "wait-graph".into(),
+                file: pf.rel.clone(),
+                line: site.line,
+                function: f.name.clone(),
+                held: None,
+                operation: format!("recv-without-send({})", site.callee),
+                chain: vec![format!("receives at {}:{}", pf.rel, site.line)],
+                message: format!(
+                    "`{}` receives via `{}` but nothing in its call closure sends — the §IV steps always pair sends and receives in the same machine-level function",
+                    f.name, site.callee
+                ),
+            });
+        }
+    }
+
+    // Rule: asymmetric barrier participation.
+    let barrier_weight = |pf: &ParsedFile, f_name: &str, range: (usize, usize)| -> Vec<usize> {
+        // Token indices in `range` that enter a barrier: direct sites or
+        // calls into barrier-effect functions.
+        let mut hits = Vec::new();
+        for j in range.0..range.1 {
+            if pf.toks[j].text == "." {
+                if let Some((OpKind::Barrier, _)) = classify_call(pf, j) {
+                    hits.push(j);
+                    continue;
+                }
+            }
+            let t = pf.toks[j].text.as_str();
+            if pf.toks.get(j + 1).map(|t| t.text.as_str()) == Some("(")
+                && t != f_name
+                && (j == 0 || pf.toks[j - 1].text != "fn")
+                && (j == 0 || pf.toks[j - 1].text != ".")
+                && effects.get(t).is_some_and(|s| s.contains(&OpKind::Barrier))
+                && fn_files.contains_key(t)
+            {
+                hits.push(j);
+            }
+        }
+        hits
+    };
+
+    for pf in &scoped {
+        for f in &pf.functions {
+            let (bs, be) = f.body;
+            let mut i = bs;
+            while i < be {
+                let t = pf.toks[i].text.as_str();
+                if t == "if" {
+                    // Skip `else if`: handled as part of its chain head.
+                    if i > bs && pf.toks[i - 1].text == "else" {
+                        i += 1;
+                        continue;
+                    }
+                    let Some(first_open) = body_open(pf, i + 1, be) else {
+                        i += 1;
+                        continue;
+                    };
+                    if uniform_condition(&pf.toks, (i + 1, first_open)) {
+                        i = first_open + 1;
+                        continue;
+                    }
+                    // Collect the arm chain.
+                    let mut arms: Vec<(usize, usize)> = Vec::new();
+                    let mut open = first_open;
+                    let mut explicit_else = false;
+                    loop {
+                        let close = block_close(pf, open + 1, pf.depth[open] + 1, be);
+                        arms.push((open + 1, close));
+                        match pf.toks.get(close + 1).map(|t| t.text.as_str()) {
+                            Some("else") => match pf.toks.get(close + 2).map(|t| t.text.as_str()) {
+                                Some("if") => {
+                                    let Some(next_open) = body_open(pf, close + 3, be) else {
+                                        break;
+                                    };
+                                    open = next_open;
+                                }
+                                Some("{") => {
+                                    let o = close + 2;
+                                    let c = block_close(pf, o + 1, pf.depth[o] + 1, be);
+                                    arms.push((o + 1, c));
+                                    explicit_else = true;
+                                    break;
+                                }
+                                _ => break,
+                            },
+                            _ => break,
+                        }
+                    }
+                    let counts: Vec<(usize, Option<usize>, usize, usize)> = arms
+                        .iter()
+                        .map(|&(s, e)| {
+                            let hits = barrier_weight(pf, &f.name, (s, e));
+                            (hits.len(), hits.first().copied(), s, e)
+                        })
+                        .collect();
+                    if counts.iter().any(|c| c.0 > 0) {
+                        let mut live: Vec<usize> = counts
+                            .iter()
+                            .filter(|&&(_, _, s, e)| !diverging(&pf.toks, (s, e)))
+                            .map(|c| c.0)
+                            .collect();
+                        if !explicit_else {
+                            live.push(0); // the implicit empty else arm
+                        }
+                        if live.len() > 1 && live.iter().any(|&c| c != live[0]) {
+                            let site = counts
+                                .iter()
+                                .find_map(|c| c.1)
+                                .unwrap_or(first_open);
+                            findings.push(Finding {
+                                rule: "wait-graph".into(),
+                                file: pf.rel.clone(),
+                                line: pf.toks[site].line,
+                                function: f.name.clone(),
+                                held: None,
+                                operation: "asymmetric-barrier".into(),
+                                chain: vec![format!(
+                                    "branch at {}:{}",
+                                    pf.rel,
+                                    pf.toks[i].line
+                                )],
+                                message: format!(
+                                    "barrier entered on one arm of the branch at {}:{} but not the other(s) — a machine taking the other path deadlocks the cluster",
+                                    pf.rel,
+                                    pf.toks[i].line
+                                ),
+                            });
+                        }
+                    }
+                    i = first_open + 1;
+                    continue;
+                }
+                if t == "match" {
+                    let Some(open) = body_open(pf, i + 1, be) else {
+                        i += 1;
+                        continue;
+                    };
+                    if uniform_condition(&pf.toks, (i + 1, open)) {
+                        i = open + 1;
+                        continue;
+                    }
+                    let close = block_close(pf, open + 1, pf.depth[open] + 1, be);
+                    let arm_depth = pf.depth[open] + 1;
+                    let mut arrows: Vec<usize> = Vec::new();
+                    for j in open + 1..close {
+                        if pf.toks[j].text == "="
+                            && pf.toks.get(j + 1).map(|t| t.text.as_str()) == Some(">")
+                            && pf.depth[j] == arm_depth
+                        {
+                            arrows.push(j);
+                        }
+                    }
+                    let mut live: Vec<(usize, Option<usize>)> = Vec::new();
+                    for (ai, &a) in arrows.iter().enumerate() {
+                        let end = arrows.get(ai + 1).copied().unwrap_or(close);
+                        if diverging(&pf.toks, (a + 2, end)) {
+                            continue;
+                        }
+                        let hits = barrier_weight(pf, &f.name, (a + 2, end));
+                        live.push((hits.len(), hits.first().copied()));
+                    }
+                    if live.iter().any(|c| c.0 > 0) && live.iter().any(|&(c, _)| c != live[0].0) {
+                        let site = live.iter().find_map(|c| c.1).unwrap_or(open);
+                        findings.push(Finding {
+                            rule: "wait-graph".into(),
+                            file: pf.rel.clone(),
+                            line: pf.toks[site].line,
+                            function: f.name.clone(),
+                            held: None,
+                            operation: "asymmetric-barrier".into(),
+                            chain: vec![format!("match at {}:{}", pf.rel, pf.toks[i].line)],
+                            message: format!(
+                                "barrier entered in some arms of the match at {}:{} but not all — a machine taking another arm deadlocks the cluster",
+                                pf.rel,
+                                pf.toks[i].line
+                            ),
+                        });
+                    }
+                    i = open + 1;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let mut senders: Vec<String> = effects
+        .iter()
+        .filter(|(k, v)| k.contains("::") && v.contains(&OpKind::Send))
+        .map(|(k, _)| k.clone())
+        .collect();
+    for (k, v) in &effects {
+        if !k.contains("::")
+            && v.contains(&OpKind::Send)
+            && fn_files.contains_key(k)
+            && !effects
+                .keys()
+                .any(|q| q.contains("::") && q.ends_with(&format!("::{k}")))
+        {
+            senders.push(k.clone());
+        }
+    }
+    senders.sort();
+    senders.dedup();
+
+    ops.sort_by(|a, b| (a.file.as_str(), a.line, a.kind).cmp(&(b.file.as_str(), b.line, b.kind)));
+
+    WaitGraph { findings, ops, edges, senders }
+}
+
+/// Aggregated per-step counts for the report: `(step, barriers, sends,
+/// recvs)`, alphabetical, for steps that appear at all.
+pub fn step_counts(ops: &[WaitOp]) -> Vec<(String, usize, usize, usize)> {
+    let mut agg: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for op in ops {
+        let Some(step) = &op.step else { continue };
+        let e = agg.entry(step.clone()).or_default();
+        match op.kind {
+            OpKind::Barrier => e.0 += 1,
+            OpKind::Send => e.1 += 1,
+            OpKind::Recv => e.2 += 1,
+        }
+    }
+    agg.into_iter().map(|(s, (b, sd, r))| (s, b, sd, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+
+    fn run(src: &str) -> WaitGraph {
+        // The scope marker rides in a comment so plain test sources land
+        // in scope without a magic path.
+        let marked = format!("// analyze: scope(wait-graph)\n{src}");
+        analyze_waitgraph(&[parse_file("t.rs", &marked)])
+    }
+
+    #[test]
+    fn paired_send_recv_is_clean() {
+        let r = run(
+            "impl M { fn gather(&self) { self.comm.send_vec(0, &v); let x = self.comm.recv_vec(1); } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.ops.len(), 2);
+    }
+
+    #[test]
+    fn recv_without_send_is_flagged() {
+        let r = run("impl M { fn sink(&self) { let x = self.comm.recv_packet(3); } }");
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "recv-without-send(recv_packet)");
+    }
+
+    #[test]
+    fn transitive_send_through_helper_counts() {
+        let r = run(
+            "impl B { fn flush(&mut self) { self.sender.send_offset_chunk(0, &d); } }\nimpl M { fn exchange(&self, buf: &mut B) { buf.flush(); let p = self.comm.recv_packet(2); } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn asymmetric_barrier_in_if_is_flagged() {
+        let r = run(
+            "impl M {\n    fn step(&self, odd: bool) {\n        if odd {\n            self.barrier();\n        }\n        self.work();\n    }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "asymmetric-barrier");
+        // The marker comment prepended by `run` shifts everything down a
+        // line: the barrier site is line 5, the branch line 4.
+        assert_eq!(r.findings[0].line, 5);
+        assert!(r.findings[0].chain.iter().any(|c| c.ends_with(":4")), "{:?}", r.findings[0].chain);
+    }
+
+    #[test]
+    fn uniform_const_condition_is_exempt() {
+        let r = run(
+            "impl M { fn barrier(&self) { self.wait_or_unwind(); if checker::ENABLED { self.check(); self.wait_or_unwind(); } } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn diverging_arm_is_exempt() {
+        let r = run(
+            "impl M { fn guarded(&self, ok: bool) { if ok { self.barrier(); } else { panic!(\"abort\"); } } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn symmetric_arms_are_clean() {
+        let r = run(
+            "impl M { fn both(&self, odd: bool) { if odd { self.a(); self.barrier(); } else { self.b(); self.barrier(); } } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn match_arm_asymmetry_is_flagged() {
+        let r = run(
+            "impl M {\n    fn pick(&self, k: Kind) {\n        match k {\n            Kind::A => self.barrier(),\n            Kind::B => self.work(),\n        }\n    }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "asymmetric-barrier");
+    }
+
+    #[test]
+    fn barrier_wait_match_on_scrutinee_is_symmetric() {
+        let r = run(
+            "impl M { fn wait_or_unwind(&self) { match self.barrier.wait() { R::Released => {} R::Aborted => panic_any(1), } } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.ops.iter().filter(|o| o.kind == OpKind::Barrier).count(), 1);
+    }
+
+    #[test]
+    fn step_regions_tag_ops_and_make_edges() {
+        let r = run(
+            "impl M { fn run(&self, ctx: &C) { ctx.step(steps::SAMPLING, |c| { c.comm.send_vec(0, &v); c.comm.recv_vec(1); }); ctx.step(steps::EXCHANGE, |c| { c.comm.send_vec(0, &v); c.comm.recv_vec(1); }); } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(
+            r.ops.iter().filter(|o| o.step.as_deref() == Some("sampling")).count(),
+            2
+        );
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!((r.edges[0].from.as_str(), r.edges[0].to.as_str()), ("sampling", "exchange"));
+        let sc = step_counts(&r.ops);
+        assert_eq!(sc.len(), 2);
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let pf = parse_file("crates/pgxd/src/comm.rs", "impl C { fn pump(&self) { let x = self.rx.recv_packet(0); } }");
+        let r = analyze_waitgraph(&[pf]);
+        assert!(r.findings.is_empty());
+        assert!(r.ops.is_empty());
+    }
+}

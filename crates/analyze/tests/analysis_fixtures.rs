@@ -90,6 +90,68 @@ fn block_scoped_guards_do_not_leak() {
 }
 
 #[test]
+fn custody_leak_on_early_return() {
+    let src = include_str!("fixtures/fail_custody_leak.rs");
+    let r = run("fail_custody_leak.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "chunk-custody");
+    assert_eq!((f.file.as_str(), f.line), ("fail_custody_leak.rs", 16));
+    assert_eq!(f.operation, "leak(buf)");
+    assert_eq!(f.function, "InjLeaker::fill");
+    // Chain ties the escaping return back to the acquire site.
+    assert!(f.chain.iter().any(|c| c.contains("acquired at fail_custody_leak.rs:14")), "{:?}", f.chain);
+    assert!(f.chain.iter().any(|c| c.contains("escapes at fail_custody_leak.rs:16")), "{:?}", f.chain);
+
+    // Leaks are structural bugs: an allowlist entry must NOT silence one.
+    let allow = format!("# cannot happen\n{}\n", f.key());
+    let still = run("fail_custody_leak.rs", src, &allow);
+    assert!(still.findings.iter().any(|f| f.operation == "leak(buf)"), "{:?}", still.findings);
+}
+
+#[test]
+fn custody_double_release_on_one_path() {
+    let src = include_str!("fixtures/fail_custody_double_release.rs");
+    let r = run("fail_custody_double_release.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "chunk-custody");
+    assert_eq!((f.file.as_str(), f.line), ("fail_custody_double_release.rs", 15));
+    assert_eq!(f.operation, "double-release(buf)");
+    assert!(f.chain.iter().any(|c| c.contains("first release at fail_custody_double_release.rs:14")), "{:?}", f.chain);
+    assert!(f.chain.iter().any(|c| c.contains("second release at fail_custody_double_release.rs:15")), "{:?}", f.chain);
+}
+
+#[test]
+fn asymmetric_barrier_entry_names_the_branch() {
+    let src = include_str!("fixtures/fail_barrier_asym.rs");
+    let r = run("fail_barrier_asym.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "wait-graph");
+    assert_eq!(f.operation, "asymmetric-barrier");
+    // Line 17 is the barrier call; the chain carries the branch at 16.
+    assert_eq!((f.file.as_str(), f.line), ("fail_barrier_asym.rs", 17));
+    assert_eq!(f.chain, ["branch at fail_barrier_asym.rs:16"]);
+    // The barrier site itself still lands in the wait-op inventory.
+    assert!(r.wait_ops.iter().any(|o| o.line == 17), "{:?}", r.wait_ops);
+}
+
+#[test]
+fn relaxed_seqlock_publication_is_flagged() {
+    let src = include_str!("fixtures/fail_relaxed_seqlock.rs");
+    let r = run("fail_relaxed_seqlock.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "atomics-ordering");
+    assert_eq!((f.file.as_str(), f.line), ("fail_relaxed_seqlock.rs", 15));
+    assert_eq!(f.operation, "store(Relaxed)");
+    assert!(f.message.contains("inj_payload.store"), "{}", f.message);
+    // The Release version bump on line 16 is fine.
+    assert!(!r.findings.iter().any(|f| f.line == 16));
+}
+
+#[test]
 fn aliased_use_fixture_parses_to_banned_paths() {
     // The xtask lint owns the banning policy; here we assert the parsing
     // layer it builds on sees through the renames.

@@ -1,0 +1,17 @@
+//! Should-fail fixture: the same pooled chunk is released twice.
+//!
+//! `drain` acquires one chunk and hands it to `release` twice on the
+//! same straight-line path — the second release hands the pool a buffer
+//! it already owns, aliasing whoever reacquired it in between.
+//!
+//! This file is never compiled; it exists to be scanned (both by the
+//! integration tests and by the CI injected-violation step, which copies
+//! it into `crates/pgxd/src` and asserts `cargo xtask check` fails).
+
+impl InjDoubleFree {
+    fn drain(&self, n: usize) {
+        let buf = self.inj_pool.acquire::<u64>(n);
+        self.inj_pool.release(buf);
+        self.inj_pool.release(buf);
+    }
+}

@@ -1,0 +1,18 @@
+//! Should-fail fixture: seqlock publication with a `Relaxed` store.
+//!
+//! `publish` writes the payload with `Relaxed` before bumping the
+//! version — readers can observe the new version without the payload,
+//! which is exactly the reorder the seqlock discipline exists to stop.
+//!
+//! This file is never compiled; it exists to be scanned (both by the
+//! integration tests and by the CI injected-violation step, which copies
+//! it into `crates/pgxd/src` and asserts `cargo xtask check` fails).
+
+// analyze: scope(atomics-ordering)
+
+impl InjSeqCell {
+    fn publish(&self, v: u64) {
+        self.inj_payload.store(v, Ordering::Relaxed);
+        self.inj_version.store(1, Ordering::Release);
+    }
+}

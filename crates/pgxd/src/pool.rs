@@ -202,6 +202,9 @@ impl ChunkPool {
         }
         let want_bytes = cap_elems * size;
         let key = TypeId::of::<T>();
+        // analyze: allow(atomics-ordering): round-robin probe hint only —
+        // a stale read just starts the shard probe elsewhere; the chunks
+        // themselves are published by the shard locks.
         let start = self.cursor.load(Ordering::Relaxed);
         for i in 0..SHARDS {
             let mut shard = self.shards[(start + i) % SHARDS].lock();
@@ -303,6 +306,9 @@ impl ChunkPool {
             }
         }
         let addr = buf.as_ptr() as usize;
+        // analyze: allow(atomics-ordering): placement counter spreading
+        // releases across shards; the buffer is published by the shard
+        // lock taken on the next line, not by this counter.
         let shard_idx = self.cursor.fetch_add(1, Ordering::Relaxed) % SHARDS;
         let mut shard = self.shards[shard_idx].lock();
         if shard.held_bytes + cap_bytes > MAX_SHARD_BYTES {

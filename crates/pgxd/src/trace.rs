@@ -383,6 +383,10 @@ impl TraceRing {
     /// Never blocks beyond waiting out another writer's seven stores to
     /// the same (lapped) slot.
     pub fn emit(&self, ev: TraceEvent) {
+        // analyze: allow(atomics-ordering): monotone slot-claim counter on
+        // a single-writer ring — the event payload is published by the
+        // per-slot seqlock version `store(Release)` below, never by
+        // `head`; `head` only sizes reader snapshots.
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let cap = self.slots.len();
         if cap == 0 {
@@ -516,6 +520,9 @@ impl MachineTrace {
     /// The next barrier index on this machine (SPMD order makes index `k`
     /// the same barrier on every machine).
     pub fn next_barrier_index(&self) -> u64 {
+        // analyze: allow(atomics-ordering): per-machine label counter —
+        // SPMD order makes index `k` the same barrier everywhere; no data
+        // is published through it.
         self.barrier_seq.fetch_add(1, Ordering::Relaxed)
     }
 

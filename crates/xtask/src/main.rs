@@ -1,8 +1,9 @@
 //! Workspace automation. `cargo xtask check` is the one entry point CI and
 //! humans use: it runs the policy lints below plus the `pgxd-analyze`
-//! static analyses (lock-order, blocking-under-lock, panic-surface — see
-//! `crates/analyze`) and fails if either finds anything. `lint` and
-//! `analyze` run each half alone; every subcommand takes `--json`.
+//! static analyses (lock-order, blocking-under-lock, panic-surface,
+//! chunk-custody, wait-graph, atomics-ordering — see `crates/analyze`) and
+//! fails if either finds anything. `lint` and `analyze` run each half
+//! alone; every subcommand takes `--json`.
 //!
 //! The lint rules:
 //!

@@ -18,12 +18,16 @@
 //! annotations (own line, next code line, or the whole `fn` when it
 //! precedes one) and the reason after the colon is mandatory.
 //!
-//! Scope: `trace.rs`, `pool.rs`, `checker.rs` — the three files whose
-//! atomics form cross-thread publication protocols — plus any file
-//! carrying an `analyze: scope(atomics-ordering)` comment (fixtures).
-//! Files like `metrics.rs` or `fault.rs` use `Relaxed` legitimately for
-//! monotone counters and stay out of scope on purpose; widening the
-//! list is a one-line change here.
+//! Scope: `trace.rs`, `pool.rs`, `checker.rs` — the files whose atomics
+//! form cross-thread publication protocols — plus `metrics.rs`, where the
+//! always-on registry's counters/gauges/histograms are *deliberately*
+//! `Relaxed` (monotone statistics with no happens-before obligation) and
+//! every site must carry an annotated reason, so the policy is enforced
+//! rather than assumed. Any file carrying an
+//! `analyze: scope(atomics-ordering)` comment (fixtures) also joins the
+//! scope. `fault.rs` and `health.rs` route their counters through
+//! `metrics::Counter`/`Gauge` and hold no raw atomics protocols of their
+//! own, so they stay out; widening the list is a one-line change here.
 //!
 //! The check is syntactic: any `Ordering::Relaxed` argument to an
 //! atomic method (`load` / `store` / `swap` / `fetch_*` /
@@ -35,11 +39,13 @@ use crate::analysis::marker_allowed_lines;
 use crate::items::{matching_paren, ParsedFile};
 use crate::report::Finding;
 
-/// Files whose atomics implement publication protocols.
-const ATOMICS_FILES: [&str; 3] = [
+/// Files whose atomics implement publication protocols, plus the metrics
+/// registry whose Relaxed-only policy is enforced via annotations.
+const ATOMICS_FILES: [&str; 4] = [
     "crates/pgxd/src/trace.rs",
     "crates/pgxd/src/pool.rs",
     "crates/pgxd/src/checker.rs",
+    "crates/pgxd/src/metrics.rs",
 ];
 
 /// Marker pulling extra files (fixtures) into scope.
@@ -49,7 +55,7 @@ pub const SCOPE_MARKER: &str = "analyze: scope(atomics-ordering)";
 pub const ALLOW_MARKER: &str = "analyze: allow(atomics-ordering)";
 
 /// Atomic method names whose `Ordering` arguments we check.
-const ATOMIC_METHODS: [&str; 11] = [
+const ATOMIC_METHODS: [&str; 13] = [
     "load",
     "store",
     "swap",
@@ -58,6 +64,8 @@ const ATOMIC_METHODS: [&str; 11] = [
     "fetch_and",
     "fetch_or",
     "fetch_xor",
+    "fetch_max",
+    "fetch_min",
     "fetch_update",
     "compare_exchange",
     "compare_exchange_weak",
@@ -191,9 +199,16 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_fetch_max_is_flagged() {
+        let r = run("impl S { fn peak(&self) { self.max.fetch_max(v, Ordering::Relaxed); } }");
+        assert_eq!(r.len(), 1, "{:?}", r);
+        assert_eq!(r[0].operation, "fetch_max(Relaxed)");
+    }
+
+    #[test]
     fn out_of_scope_file_is_ignored() {
         let pf = parse_file(
-            "crates/pgxd/src/metrics.rs",
+            "crates/pgxd/src/fault.rs",
             "impl S { fn bump(&self) { self.n.fetch_add(1, Ordering::Relaxed); } }",
         );
         assert!(analyze_atomics(&[pf]).is_empty());

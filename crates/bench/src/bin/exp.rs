@@ -16,6 +16,7 @@
 //! exp trace   [--n=N] [--procs=P] [--workers=W]
 //! exp chaos   [--n=N] [--procs=P] [--workers=W] [--seed=S]
 //! exp localsort [--n=N] [--procs=P] [--workers=W] [--seed=S]
+//! exp health  [--n=N] [--procs=P] [--workers=W] [--seed=S]
 //! exp all     — run everything with defaults
 //! ```
 //!
@@ -42,6 +43,17 @@
 //! and the classify/permute/merge phase spans, all against the
 //! `pquick+balanced` baseline from the same batch
 //! (`results/bench_localsort.json`).
+//!
+//! `exp health` drives a skewed chaos run (skew-storm keys, amplified
+//! straggler plan) with the in-flight health monitor armed and asserts
+//! the resulting verdicts name the straggler machine; the structured
+//! health report goes to `results/health_report.json` and the final
+//! registry snapshot to `results/health_metrics.prom` (Prometheus text).
+//!
+//! Every experiment additionally folds a compact per-run summary
+//! (keys/s, step p50/p95, pool hit rate, exchange bytes) into
+//! `results/bench_summary.json` (schema `pgxd-bench-summary/1`) so the
+//! perf trajectory across PRs is machine-trackable from one file.
 
 use pgxd::trace::TraceConfig;
 use pgxd_bench::runner::{
@@ -141,6 +153,63 @@ fn save_json(name: &str, results: &[ExpResult]) {
             }
         }
         Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+    let summaries: Vec<serde_json::Value> = results.iter().map(run_summary).collect();
+    bench_summary_insert(name, serde_json::Value::Array(summaries));
+}
+
+/// The compact per-run view `results/bench_summary.json` tracks across
+/// PRs: throughput, the step tail, pool efficiency, and exchange volume.
+fn run_summary(r: &ExpResult) -> serde_json::Value {
+    let steps: serde_json::Map<String, serde_json::Value> = r
+        .step_secs_p50
+        .iter()
+        .zip(&r.step_secs_p95)
+        .map(|((name, p50), (_, p95))| {
+            (name.clone(), serde_json::json!({ "p50_secs": p50, "p95_secs": p95 }))
+        })
+        .collect();
+    serde_json::json!({
+        "system": r.system,
+        "workload": r.workload,
+        "machines": r.machines,
+        "workers": r.workers,
+        "total_keys": r.total_keys,
+        "wall_secs": r.wall_secs,
+        "keys_per_sec": r.total_keys as f64 / r.wall_secs.max(1e-12),
+        "steps": steps,
+        "pool_hit_rate": r.exchange_pool_hit_rate(),
+        "exchange_bytes_placed": r.exchange_bytes_placed,
+        "comm_bytes": r.comm_bytes,
+    })
+}
+
+/// Read-modify-writes `results/bench_summary.json`: each experiment owns
+/// one key under `"experiments"`, so repeated/partial harness runs
+/// accumulate into one schema-versioned document instead of scattering
+/// per-figure files only.
+fn bench_summary_insert(experiment: &str, value: serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join("bench_summary.json");
+    let mut doc = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .filter(|d| d.get("schema").and_then(|s| s.as_str()) == Some("pgxd-bench-summary/1"))
+        .unwrap_or_else(|| serde_json::json!({ "schema": "pgxd-bench-summary/1", "experiments": {} }));
+    if !doc["experiments"].is_object() {
+        doc["experiments"] = serde_json::json!({});
+    }
+    doc["experiments"][experiment] = value;
+    match serde_json::to_string_pretty(&doc) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize bench summary: {e}"),
     }
 }
 
@@ -391,6 +460,8 @@ fn fig9(opts: &Opts) {
         "factor",
         "comm bytes",
         "hotspot recv",
+        "hot dst",
+        "dst skew",
         "bottleneck comm",
         "total wall",
         "load diff",
@@ -403,10 +474,27 @@ fn fig9(opts: &Opts) {
             opts.workers,
             SortConfig::default().sample_factor(f),
         );
+        // Per-receiver accounting must cover exactly the bytes the fabric
+        // carried — the skew column is meaningless otherwise.
+        let dst_sum: u64 = r.per_dst_bytes.iter().sum();
+        assert_eq!(
+            dst_sum, r.comm_bytes,
+            "per-dst bytes must balance against bytes_sent"
+        );
+        let (hot_dst, hot_bytes) = r
+            .per_dst_bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| **b)
+            .map(|(d, b)| (d, *b))
+            .unwrap_or((0, 0));
+        let mean = dst_sum as f64 / r.per_dst_bytes.len().max(1) as f64;
         table.row(vec![
             format!("{f}X"),
             format!("{}", r.comm_bytes),
             format!("{}", r.max_recv_bytes),
+            format!("m{hot_dst}"),
+            format!("{:.2}x", hot_bytes as f64 / mean.max(1.0)),
             fmt_secs(r.bottleneck_comm_secs),
             fmt_secs(r.wall_secs),
             r.load_difference().to_string(),
@@ -414,6 +502,7 @@ fn fig9(opts: &Opts) {
         results.push(r);
     }
     table.print();
+    println!("(dst skew = hottest receiver's bytes over the per-receiver mean)");
     save_json("fig9", &results);
 }
 
@@ -515,6 +604,7 @@ fn fig11(opts: &Opts) {
             exchange_pool_hits: report.comm.exchange.pool_hits,
             exchange_pool_misses: report.comm.exchange.pool_misses,
             exchange_bytes_placed: report.comm.exchange.bytes_placed,
+            per_dst_bytes: report.per_dst_bytes.clone(),
             sizes: vec![],
             ranges: vec![],
         });
@@ -697,6 +787,27 @@ fn exchange(opts: &Opts) {
     save_exchange_json(&legacy, &pooled, speedup);
 }
 
+/// Field-for-field JSON view of one exchange-bench variant, spelled out
+/// so the document's shape is visible here rather than implied by the
+/// struct's derive.
+fn exchange_bench_value(r: &ExchangeBenchResult) -> serde_json::Value {
+    serde_json::json!({
+        "variant": r.variant,
+        "machines": r.machines,
+        "workers": r.workers,
+        "buffer_bytes": r.buffer_bytes,
+        "total_keys": r.total_keys,
+        "rounds": r.rounds,
+        "wall_secs": r.wall_secs,
+        "keys_per_sec": r.keys_per_sec,
+        "chunks_sent": r.chunks_sent,
+        "chunks_recycled": r.chunks_recycled,
+        "pool_hits": r.pool_hits,
+        "pool_misses": r.pool_misses,
+        "bytes_placed": r.bytes_placed,
+    })
+}
+
 fn save_exchange_json(legacy: &ExchangeBenchResult, pooled: &ExchangeBenchResult, speedup: f64) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -704,8 +815,8 @@ fn save_exchange_json(legacy: &ExchangeBenchResult, pooled: &ExchangeBenchResult
     }
     let path = dir.join("bench_exchange.json");
     let doc = serde_json::json!({
-        "legacy": legacy,
-        "pooled": pooled,
+        "legacy": exchange_bench_value(legacy),
+        "pooled": exchange_bench_value(pooled),
         "speedup": speedup,
     });
     match serde_json::to_string_pretty(&doc) {
@@ -718,6 +829,16 @@ fn save_exchange_json(legacy: &ExchangeBenchResult, pooled: &ExchangeBenchResult
         }
         Err(e) => eprintln!("warning: could not serialize results: {e}"),
     }
+    bench_summary_insert(
+        "exchange",
+        serde_json::json!({
+            "legacy_keys_per_sec": legacy.keys_per_sec,
+            "pooled_keys_per_sec": pooled.keys_per_sec,
+            "pooled_pool_hit_rate": pooled.pool_hit_rate(),
+            "pooled_bytes_placed": pooled.bytes_placed,
+            "speedup": speedup,
+        }),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -993,6 +1114,7 @@ fn localsort(opts: &Opts) {
             Err(e) => eprintln!("warning: could not serialize results: {e}"),
         }
     }
+    bench_summary_insert("localsort", doc["variants"].clone());
 }
 
 // ---------------------------------------------------------------------------
@@ -1167,6 +1289,128 @@ fn chaos_cmd(opts: &Opts) {
             Err(e) => eprintln!("warning: could not serialize results: {e}"),
         }
     }
+    bench_summary_insert("chaos", doc["summary"].clone());
+}
+
+// ---------------------------------------------------------------------------
+// `exp health`: in-flight health monitor on a skewed chaos run.
+// ---------------------------------------------------------------------------
+fn health_defaults() -> Opts {
+    Opts {
+        n: 200_000,
+        procs: vec![4],
+        ..Opts::default()
+    }
+}
+
+/// Drives one skew-storm sort under an amplified straggler plan with the
+/// health monitor armed: the run must survive, sort correctly, and the
+/// attached [`pgxd::HealthReport`] must name the straggler machine.
+/// Exports the structured report (`results/health_report.json`) and the
+/// final registry snapshot in Prometheus text format
+/// (`results/health_metrics.prom`).
+fn health_cmd(opts: &Opts) {
+    use pgxd::cluster::{Cluster, ClusterConfig};
+    use pgxd::{FaultPlan, HealthConfig};
+    use pgxd_core::DistSorter;
+    use pgxd_datagen::generate_partitioned;
+    use std::time::Duration;
+
+    let p = opts.procs.first().copied().unwrap_or(4);
+    let straggler = 1 % p.max(1);
+    let n = opts.n;
+    let dist = Distribution::skew_storm(0.85);
+    let parts = generate_partitioned(dist, n, p, opts.seed);
+    let expect = {
+        let mut all = parts.concat();
+        all.sort_unstable();
+        all
+    };
+
+    println!(
+        "\n=== Health monitor: {} keys of {}, p = {p}, straggler = machine {straggler} ===\n",
+        n,
+        dist.name()
+    );
+
+    // The chaos preset's µs-scale straggle is below human (and monitor)
+    // perception — amplify it to ~25 ms per task pickup so the verdict
+    // thresholds below have an unambiguous signal to find.
+    let plan = FaultPlan::chaos(opts.seed).straggle(straggler, 25_000);
+    let health = HealthConfig::enabled()
+        .interval(Duration::from_millis(2))
+        .stall_after(Duration::from_millis(25))
+        .straggler(1.5, Duration::from_millis(5));
+    let cluster = Cluster::new(
+        ClusterConfig::new(p)
+            .workers_per_machine(opts.workers)
+            .fault(plan)
+            .health(health),
+    );
+    let sorter = DistSorter::default();
+    let parts_ref = &parts;
+    let report = cluster.run(|ctx| sorter.sort(ctx, parts_ref[ctx.id()].clone()).data);
+    assert_eq!(
+        report.results.concat(),
+        expect,
+        "chaos run must still sort correctly"
+    );
+    let health = report.health.as_ref().expect("health monitor was enabled");
+
+    let mut table = Table::new(vec!["verdict", "machine", "step", "detail"]);
+    for v in &health.verdicts {
+        table.row(vec![
+            v.kind().to_string(),
+            v.machine().map(|m| format!("m{m}")).unwrap_or_else(|| "-".into()),
+            v.step().unwrap_or("-").to_string(),
+            v.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "({} samples; {} verdicts; wall {})",
+        health.samples,
+        health.verdicts.len(),
+        fmt_secs(report.wall_time.as_secs_f64())
+    );
+
+    // The whole point: the monitor caught the machine we sabotaged, and
+    // its verdict names the step it lagged in.
+    let caught = health
+        .stragglers()
+        .into_iter()
+        .find(|v| v.machine() == Some(straggler))
+        .unwrap_or_else(|| panic!("no straggler verdict for machine {straggler}: {health}"));
+    println!("caught: {caught}");
+
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let json_path = dir.join("health_report.json");
+        if let Err(e) = std::fs::write(&json_path, health.to_json()) {
+            eprintln!("warning: could not write {}: {e}", json_path.display());
+        } else {
+            println!("(health report → {})", json_path.display());
+        }
+        let prom_path = dir.join("health_metrics.prom");
+        if let Err(e) = std::fs::write(&prom_path, report.metrics.to_prometheus_text()) {
+            eprintln!("warning: could not write {}: {e}", prom_path.display());
+        } else {
+            println!("(registry snapshot → {})", prom_path.display());
+        }
+    }
+    bench_summary_insert(
+        "health",
+        serde_json::json!({
+            "machines": p,
+            "workers": opts.workers,
+            "total_keys": n,
+            "wall_secs": report.wall_time.as_secs_f64(),
+            "samples": health.samples,
+            "verdicts": health.verdicts.len(),
+            "straggler_machine": straggler,
+            "straggler_step": caught.step(),
+        }),
+    );
 }
 
 fn env_report(opts: &Opts) {
@@ -1232,6 +1476,8 @@ fn main() {
         "chaos" => chaos_cmd(&parse_opts_from(chaos_defaults(), &args[1.min(args.len())..])),
         // Own defaults (2^21 keys, p=4), same flag re-parse.
         "localsort" => localsort(&parse_opts_from(localsort_defaults(), &args[1.min(args.len())..])),
+        // Own defaults (2 × 10^5 keys, p=4), same flag re-parse.
+        "health" => health_cmd(&parse_opts_from(health_defaults(), &args[1.min(args.len())..])),
         "env" => env_report(&opts),
         "all" => {
             env_report(&opts);
@@ -1250,10 +1496,11 @@ fn main() {
             trace_cmd(&trace_defaults());
             chaos_cmd(&chaos_defaults());
             localsort(&localsort_defaults());
+            health_cmd(&health_defaults());
         }
         _ => {
             eprintln!(
-                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|exchange|trace|chaos|localsort|all> \
+                "usage: exp <fig5|fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|ablation|buffer|exchange|trace|chaos|localsort|health|all> \
                  [--n=N] [--procs=8,16,32,52] [--workers=W] [--seed=S] [--scale=S] [--ef=E] [--trace]"
             );
             std::process::exit(2);

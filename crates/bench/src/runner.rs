@@ -116,6 +116,11 @@ pub struct ExpResult {
     /// Payload bytes memcpy-placed into exchange output buffers.
     #[serde(default)]
     pub exchange_bytes_placed: u64,
+    /// Bytes addressed to each receiving machine, by id — the Fig. 9
+    /// per-receiver skew view. Empty in results recorded before the
+    /// metrics plane exported it.
+    #[serde(default)]
+    pub per_dst_bytes: Vec<u64>,
     /// Final element count per machine (load balance).
     pub sizes: Vec<usize>,
     /// Final `(min, max)` key per machine (`None` = empty machine).
@@ -156,27 +161,27 @@ impl ExpResult {
     }
 }
 
-fn durations_to_secs(steps: &pgxd::StepReport, names: &[&'static str]) -> Vec<(String, f64)> {
-    names
-        .iter()
-        .map(|&n| (n.to_string(), steps.max_across_machines(n).as_secs_f64()))
-        .collect()
-}
+/// One pass over the step report: `(max, p50, p95)` series for `names`,
+/// in seconds. All three views come from [`pgxd::StepReport`], which
+/// shares its nearest-rank percentile definition with the registry
+/// histograms (`pgxd::metrics::nearest_rank_index`) — the bench harness
+/// computes no percentiles of its own.
+type StepSeries = (
+    Vec<(String, f64)>,
+    Vec<(String, f64)>,
+    Vec<(String, f64)>,
+);
 
-fn percentile_to_secs(
-    steps: &pgxd::StepReport,
-    names: &[&'static str],
-    pct: f64,
-) -> Vec<(String, f64)> {
-    names
-        .iter()
-        .map(|&n| {
-            (
-                n.to_string(),
-                steps.percentile_across_machines(n, pct).as_secs_f64(),
-            )
-        })
-        .collect()
+fn step_series(steps: &pgxd::StepReport, names: &[&'static str]) -> StepSeries {
+    let mut max = Vec::with_capacity(names.len());
+    let mut p50 = Vec::with_capacity(names.len());
+    let mut p95 = Vec::with_capacity(names.len());
+    for &n in names {
+        max.push((n.to_string(), steps.max_across_machines(n).as_secs_f64()));
+        p50.push((n.to_string(), steps.p50_across_machines(n).as_secs_f64()));
+        p95.push((n.to_string(), steps.p95_across_machines(n).as_secs_f64()));
+    }
+    (max, p50, p95)
 }
 
 /// Runs the PGX.D distributed sort on `workload` and collects results.
@@ -234,6 +239,8 @@ pub fn run_pgxd_sort_traced(
         let part = sorter.sort(ctx, local);
         (part.len(), part.range().map(|(a, b)| (*a, *b)))
     });
+    let (step_secs, step_secs_p50, step_secs_p95) =
+        step_series(&report.steps, &pgxd_core::steps::ALL);
     let result = ExpResult {
         system: "pgxd".into(),
         workload: workload.label(),
@@ -242,9 +249,9 @@ pub fn run_pgxd_sort_traced(
         workers,
         total_keys,
         wall_secs: report.wall_time.as_secs_f64(),
-        step_secs: durations_to_secs(&report.steps, &pgxd_core::steps::ALL),
-        step_secs_p50: percentile_to_secs(&report.steps, &pgxd_core::steps::ALL, 50.0),
-        step_secs_p95: percentile_to_secs(&report.steps, &pgxd_core::steps::ALL, 95.0),
+        step_secs,
+        step_secs_p50,
+        step_secs_p95,
         comm_bytes: report.comm.bytes_sent,
         comm_messages: report.comm.messages_sent,
         modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
@@ -255,6 +262,7 @@ pub fn run_pgxd_sort_traced(
         exchange_pool_hits: report.comm.exchange.pool_hits,
         exchange_pool_misses: report.comm.exchange.pool_misses,
         exchange_bytes_placed: report.comm.exchange.bytes_placed,
+        per_dst_bytes: report.per_dst_bytes.clone(),
         sizes: report.results.iter().map(|r| r.0).collect(),
         ranges: report.results.iter().map(|r| r.1).collect(),
     };
@@ -276,6 +284,8 @@ pub fn run_spark_sort(workload: &Workload, machines: usize, workers: usize) -> E
             .map(|lo| (*lo, *out.data.last().unwrap()));
         (out.data.len(), range)
     });
+    let (step_secs, step_secs_p50, step_secs_p95) =
+        step_series(&report.steps, &pgxd_baselines::spark::stages::ALL);
     ExpResult {
         system: "spark".into(),
         workload: workload.label(),
@@ -284,9 +294,9 @@ pub fn run_spark_sort(workload: &Workload, machines: usize, workers: usize) -> E
         workers,
         total_keys,
         wall_secs: report.wall_time.as_secs_f64(),
-        step_secs: durations_to_secs(&report.steps, &pgxd_baselines::spark::stages::ALL),
-        step_secs_p50: percentile_to_secs(&report.steps, &pgxd_baselines::spark::stages::ALL, 50.0),
-        step_secs_p95: percentile_to_secs(&report.steps, &pgxd_baselines::spark::stages::ALL, 95.0),
+        step_secs,
+        step_secs_p50,
+        step_secs_p95,
         comm_bytes: report.comm.bytes_sent,
         comm_messages: report.comm.messages_sent,
         modeled_comm_secs: report.comm.modeled_wire_time.as_secs_f64(),
@@ -297,6 +307,7 @@ pub fn run_spark_sort(workload: &Workload, machines: usize, workers: usize) -> E
         exchange_pool_hits: report.comm.exchange.pool_hits,
         exchange_pool_misses: report.comm.exchange.pool_misses,
         exchange_bytes_placed: report.comm.exchange.bytes_placed,
+        per_dst_bytes: report.per_dst_bytes.clone(),
         sizes: report.results.iter().map(|r| r.0).collect(),
         ranges: report.results.iter().map(|r| r.1).collect(),
     }
@@ -494,6 +505,7 @@ mod tests {
             exchange_pool_hits: 0,
             exchange_pool_misses: 0,
             exchange_bytes_placed: 0,
+            per_dst_bytes: vec![],
             sizes: vec![],
             ranges: vec![],
         };
@@ -526,6 +538,9 @@ mod tests {
         assert!(r.exchange_bytes_placed > 0);
         let rate = r.exchange_pool_hit_rate();
         assert!((0.0..=1.0).contains(&rate));
+        // Per-receiver accounting covers every byte the fabric carried.
+        assert_eq!(r.per_dst_bytes.len(), 4);
+        assert_eq!(r.per_dst_bytes.iter().sum::<u64>(), r.comm_bytes);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::investigator::splitter_offsets;
 use crate::item::{tag_with_provenance, Keyed};
 use crate::sampling::{select_regular_samples, select_splitters};
 use pgxd::machine::MachineCtx;
+use pgxd::metrics::labeled;
 use pgxd::task::TaskManager;
 use pgxd_algos::exec::{even_chunk_bounds, MIN_ITEMS_PER_WORKER};
 use pgxd_algos::ipssort::{in_place_sample_sort_stats_into, IpsStats};
@@ -246,6 +247,35 @@ fn final_merge_runs<T: Key>(
             });
             out
         }
+    }
+}
+
+/// Registers this machine's load statistics into the run's always-on
+/// metrics registry: shard sizes before and after the sort (the Table II /
+/// Fig. 10 balance numbers), the sample budget spent, and the step-4
+/// send-range sizes showing how evenly the splitters cut the local data.
+fn record_sort_metrics(
+    ctx: &MachineCtx,
+    input: usize,
+    samples: usize,
+    offsets: &[usize],
+    output: usize,
+) {
+    let metrics = ctx.metrics();
+    let machine = ctx.id().to_string();
+    let labels = [("machine", machine.as_str())];
+    metrics
+        .gauge(&labeled("pgxd_sort_input_items", &labels))
+        .set(input as u64);
+    metrics
+        .gauge(&labeled("pgxd_sort_output_items", &labels))
+        .set(output as u64);
+    metrics
+        .counter(&labeled("pgxd_sort_samples_total", &labels))
+        .add(samples as u64);
+    let ranges = metrics.histogram("pgxd_sort_send_range_items");
+    for (lo, hi) in offsets.iter().zip(offsets.iter().skip(1)) {
+        ranges.record((hi - lo) as u64);
     }
 }
 
@@ -576,6 +606,7 @@ impl DistSorter {
     fn sort_impl<T: Key>(&self, ctx: &mut MachineCtx, local: Vec<T>) -> SortedPartition<T> {
         let p = ctx.num_machines();
         let workers = ctx.workers();
+        let input_items = local.len();
 
         // Step 1: local parallel sort (chunk → kernel → parallel k-way
         // merge into a pool-recycled buffer).
@@ -630,6 +661,8 @@ impl DistSorter {
         let merged = ctx.step(steps::FINAL_MERGE, move |ctx| {
             final_merge_runs(ctx, self.config.final_merge, received, &source_bounds, workers)
         });
+
+        record_sort_metrics(ctx, input_items, sample_count, &offsets, merged.len());
 
         SortedPartition {
             data: merged,
@@ -1144,6 +1177,35 @@ mod tests {
         for step in steps::ALL {
             assert!(names.contains(&step), "missing step {step}");
         }
+    }
+
+    #[test]
+    fn sort_registers_load_metrics() {
+        let machines = 3;
+        let parts = generate_partitioned(Distribution::Uniform, 9000, machines, 77);
+        let cluster = Cluster::new(ClusterConfig::new(machines).workers_per_machine(2));
+        let sorter = DistSorter::default();
+        let report = cluster.run(|ctx| {
+            let local = parts[ctx.id()].clone();
+            sorter.sort(ctx, local).data.len()
+        });
+        // Output gauges cover every element exactly once.
+        let out_total: u64 = (0..machines)
+            .map(|m| {
+                report
+                    .metrics
+                    .gauge(&format!("pgxd_sort_output_items{{machine=\"{m}\"}}"))
+                    .expect("output gauge registered")
+            })
+            .sum();
+        assert_eq!(out_total, 9000);
+        // One send range per (machine, destination) pair.
+        let ranges = report
+            .metrics
+            .histogram("pgxd_sort_send_range_items")
+            .expect("send-range histogram registered");
+        assert_eq!(ranges.count, (machines * machines) as u64);
+        assert_eq!(ranges.sum, 9000);
     }
 
     #[test]

@@ -5,8 +5,9 @@ use crate::comm::CommManager;
 use crate::fault::{
     ClusterBarrier, FaultInjector, FaultPlan, InjectedFailure, RunError, RunErrorKind,
 };
+use crate::health::{HealthConfig, HealthMonitor, HealthReport};
 use crate::machine::MachineCtx;
-use crate::metrics::{CommStats, CommSummary, StepReport};
+use crate::metrics::{CommStats, CommSummary, MetricsRegistry, MetricsSnapshot, StepReport};
 use crate::net::NetworkModel;
 use crate::sync::Mutex;
 use crate::task::TaskManager;
@@ -33,6 +34,9 @@ pub struct ClusterConfig {
     pub trace: TraceConfig,
     /// Fault-injection plan (off by default; see [`crate::fault`]).
     pub fault: FaultPlan,
+    /// In-flight health monitoring (off by default; see [`crate::health`]).
+    /// The metrics registry itself is always on regardless.
+    pub health: HealthConfig,
 }
 
 impl ClusterConfig {
@@ -48,6 +52,7 @@ impl ClusterConfig {
             net: NetworkModel::default(),
             trace: TraceConfig::disabled(),
             fault: FaultPlan::disabled(),
+            health: HealthConfig::disabled(),
         }
     }
 
@@ -80,6 +85,12 @@ impl ClusterConfig {
         self.fault = fault;
         self
     }
+
+    /// Sets the in-flight health-monitor configuration.
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
 }
 
 /// Results of one cluster run.
@@ -95,6 +106,19 @@ pub struct RunReport<R> {
     pub wall_time: Duration,
     /// The merged event trace, when the run's [`TraceConfig`] enabled it.
     pub trace: Option<TraceLog>,
+    /// Final snapshot of the run's always-on metrics registry — the
+    /// single source of truth the comm/exchange/step numbers above are
+    /// derived from, exportable via
+    /// [`MetricsSnapshot::to_prometheus_text`] /
+    /// [`MetricsSnapshot::to_json`].
+    pub metrics: MetricsSnapshot,
+    /// The health monitor's verdicts, when the run's [`HealthConfig`]
+    /// enabled it.
+    pub health: Option<HealthReport>,
+    /// Bytes addressed to each machine, indexed by destination — the
+    /// per-receiver skew view behind
+    /// [`CommSummary::max_recv_bytes`](crate::metrics::CommSummary).
+    pub per_dst_bytes: Vec<u64>,
 }
 
 /// A simulated cluster: spawns one OS thread per machine and runs SPMD
@@ -226,6 +250,7 @@ impl Cluster {
                 message,
                 peer_aborts: failed.peer_aborts,
                 residual: failed.residual,
+                health: failed.health,
             }
         })
     }
@@ -246,6 +271,11 @@ impl Cluster {
         assert!(p > 0, "need at least one machine");
         let plan = self.config.fault;
         let stats = Arc::new(CommStats::new(p, self.config.net));
+        // The always-on metrics plane: the registry shares the comm/
+        // exchange cells (no second hot-path fetch_add) and everything
+        // else registers into it as the machines come up.
+        let registry = Arc::new(MetricsRegistry::new());
+        stats.register_into(&registry);
         // The barrier doubles as the run's control plane: abort flag and
         // (with an armed plan) the per-step timeout.
         let barrier = Arc::new(ClusterBarrier::new(
@@ -255,6 +285,24 @@ impl Cluster {
         let injector = plan
             .enabled
             .then(|| Arc::new(FaultInjector::new(plan, p, self.config.net, barrier.clone())));
+        if let Some(inj) = &injector {
+            inj.register_metrics(&registry);
+        }
+        // The optional in-flight sampler over the registry, plus its
+        // interval watchdog (which catches stalls nothing else is awake
+        // to report).
+        let monitor = self.config.health.enabled.then(|| {
+            Arc::new(HealthMonitor::new(
+                self.config.health,
+                p,
+                registry.clone(),
+                stats.clone(),
+            ))
+        });
+        let watchdog = monitor.as_ref().map(|m| {
+            let m = m.clone();
+            crate::sync::thread::spawn(move || m.watchdog_loop())
+        });
         let comms = CommManager::fabric_with_faults(p, stats.clone(), injector.clone());
         let fabric_checker = comms[0].checker().clone();
         // Lane 0 is the machine's mainline thread; 1.. its worker/send
@@ -280,6 +328,8 @@ impl Cluster {
                     let buffer_bytes = self.config.buffer_bytes;
                     let injector = injector.clone();
                     let trace = collector.as_ref().map(|c| c.machine(machine_id));
+                    let registry = registry.clone();
+                    let monitor = monitor.clone();
                     handles.push(scope.spawn(move || {
                         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                             let mut ctx = MachineCtx::new(
@@ -289,6 +339,8 @@ impl Cluster {
                                 buffer_bytes,
                                 stats,
                                 trace,
+                                registry,
+                                monitor,
                             );
                             let r = f(&mut ctx);
                             let timer = ctx.take_timer();
@@ -324,6 +376,17 @@ impl Cluster {
             });
         }
 
+        // Stop the watchdog before reporting (success or failure), so
+        // the final sample sees the complete run and no monitor thread
+        // outlives it.
+        if let Some(m) = &monitor {
+            m.request_shutdown();
+        }
+        if let Some(h) = watchdog {
+            h.join().expect("health watchdog panicked");
+        }
+        let health = monitor.map(|m| m.report());
+
         if !failures.is_empty() {
             let is_peer_abort = |fail: &MachineFailure| {
                 matches!(
@@ -344,6 +407,7 @@ impl Cluster {
                 primary,
                 peer_aborts,
                 residual,
+                health,
             });
         }
 
@@ -363,6 +427,9 @@ impl Cluster {
             },
             wall_time: start.elapsed(),
             trace: collector.map(|c| c.collect()),
+            metrics: registry.snapshot(),
+            health,
+            per_dst_bytes: stats.per_dst_snapshot(),
         })
     }
 }
@@ -378,6 +445,7 @@ struct FailedRun {
     primary: MachineFailure,
     peer_aborts: usize,
     residual: Option<crate::checker::ResidualReport>,
+    health: Option<HealthReport>,
 }
 
 #[cfg(test)]

@@ -45,6 +45,16 @@
 //!   merged on a unified clock and exported as Chrome `trace_event` JSON
 //!   (Perfetto / `chrome://tracing`) plus derived views. Off by default;
 //!   disabled runs pay ~one branch per event site.
+//! - [`metrics`] + [`health`] — the always-on metrics plane: a lock-free
+//!   [`metrics::MetricsRegistry`] of named counters, gauges, and
+//!   log₂-bucketed histograms every runtime layer registers into
+//!   (`Relaxed` statistics, invisible to loom; one `fetch_add` per
+//!   event), snapshot-exportable as Prometheus text or JSON. An opt-in
+//!   [`health::HealthMonitor`] samples the registry *during* the run —
+//!   from step/barrier boundaries plus an interval watchdog — and turns
+//!   deltas into structured verdicts (stragglers, stalled steps,
+//!   pool-miss storms, per-receiver byte skew) on
+//!   [`cluster::RunReport::health`] and [`fault::RunError::health`].
 //! - [`fault`] — an opt-in deterministic fault-injection plane: a seeded
 //!   [`fault::FaultPlan`] on [`cluster::ClusterConfig`] arms per-chunk
 //!   delays/jitter, mailbox reordering, bounded drop-with-redelivery,
@@ -78,6 +88,7 @@ pub mod cluster;
 pub mod comm;
 pub mod csr;
 pub mod fault;
+pub mod health;
 pub mod machine;
 pub mod metrics;
 pub mod net;
@@ -90,8 +101,12 @@ pub mod trace;
 pub use checker::ResidualReport;
 pub use cluster::{Cluster, ClusterConfig, RunReport};
 pub use fault::{FaultPlan, RunError, RunErrorKind};
+pub use health::{HealthConfig, HealthReport, HealthVerdict};
 pub use machine::MachineCtx;
-pub use metrics::{CommSummary, ExchangeSummary, StepReport};
+pub use metrics::{
+    CommSummary, Counter, ExchangeSummary, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+    StepReport,
+};
 pub use pool::ChunkPool;
 pub use net::NetworkModel;
 pub use trace::{TraceConfig, TraceLog};

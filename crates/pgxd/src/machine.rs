@@ -10,7 +10,8 @@ use crate::buffer::RequestBuffer;
 use crate::checker;
 use crate::comm::{kinds, CommManager, Tag};
 use crate::fault::{BarrierWait, ClusterBarrier, FaultInjector, InjectedFailure};
-use crate::metrics::{CommSummary, SharedCommStats, StepTimer};
+use crate::health::HealthMonitor;
+use crate::metrics::{labeled, CommSummary, Counter, SharedCommStats, SharedMetrics, StepTimer};
 use crate::pool::ChunkPool;
 use crate::task::{self, TaskManager};
 use crate::trace::{EventKind, MachineTrace, LANE_MAIN};
@@ -39,6 +40,15 @@ pub struct MachineCtx {
     /// This machine's trace sink; `None` (one branch per event site) when
     /// the run is untraced.
     trace: Option<Arc<MachineTrace>>,
+    /// The run's always-on metrics registry (see [`crate::metrics`]).
+    registry: SharedMetrics,
+    /// The in-flight health monitor; `None` (one branch per hook) when
+    /// [`HealthConfig`](crate::health::HealthConfig) is disabled.
+    health: Option<Arc<HealthMonitor>>,
+    /// `pgxd_steps_total{machine}` — steps this machine completed.
+    steps_counter: Counter,
+    /// `pgxd_barriers_total{machine}` — barriers this machine crossed.
+    barriers_counter: Counter,
     collective_seq: u64,
 }
 
@@ -51,6 +61,11 @@ impl Drop for MachineCtx {
     /// dropped receiver and masquerade as a failure of its own, instead
     /// of unwinding as [`InjectedFailure::PeerAborted`].
     fn drop(&mut self) {
+        if let Some(h) = &self.health {
+            // Exited (returned or unwound) either way: stop expecting
+            // progress from this machine.
+            h.note_done(self.id);
+        }
         if std::thread::panicking() {
             self.comm.checker().set_aborted();
             self.barrier.abort();
@@ -61,11 +76,13 @@ impl Drop for MachineCtx {
 impl MachineCtx {
     pub(crate) fn new(
         mut comm: CommManager,
-        task: TaskManager,
+        mut task: TaskManager,
         barrier: Arc<ClusterBarrier>,
         buffer_bytes: usize,
         stats: SharedCommStats,
         trace: Option<Arc<MachineTrace>>,
+        registry: SharedMetrics,
+        health: Option<Arc<HealthMonitor>>,
     ) -> Self {
         let mut pool = ChunkPool::with_checker(stats.clone(), comm.checker().clone(), comm.id());
         if let Some(t) = &trace {
@@ -79,6 +96,17 @@ impl MachineCtx {
         comm.set_control(barrier.clone());
         let fault = comm.fault().cloned();
         let pool = Arc::new(pool);
+        let id_label = comm.id().to_string();
+        let steps_counter =
+            registry.counter(&labeled("pgxd_steps_total", &[("machine", &id_label)]));
+        let barriers_counter =
+            registry.counter(&labeled("pgxd_barriers_total", &[("machine", &id_label)]));
+        task.set_pickup_counter(
+            registry.counter(&labeled("pgxd_task_pickups_total", &[("machine", &id_label)])),
+        );
+        if let Some(h) = &health {
+            h.note_progress(comm.id());
+        }
         MachineCtx {
             id: comm.id(),
             p: comm.num_machines(),
@@ -91,6 +119,10 @@ impl MachineCtx {
             stats,
             fault,
             trace,
+            registry,
+            health,
+            steps_counter,
+            barriers_counter,
             collective_seq: 0,
         }
     }
@@ -145,10 +177,15 @@ impl MachineCtx {
             // Pause/resume at the step boundary (straggler machines).
             f.step_pause(self.id);
         }
+        if let Some(h) = &self.health {
+            h.note_step_start(self.id, name);
+        }
         let pre = self.trace.as_ref().map(|t| (t.intern(name), t.now_ns()));
         let start = std::time::Instant::now();
         let out = f(self);
-        self.timer.record(name, start.elapsed());
+        let elapsed = start.elapsed();
+        self.timer.record(name, elapsed);
+        self.record_step_metrics(name, elapsed);
         if let Some((name_id, t0)) = pre {
             if let Some(t) = &self.trace {
                 t.span_since(LANE_MAIN, EventKind::Step, t0, name_id, 0);
@@ -160,19 +197,39 @@ impl MachineCtx {
     /// Records an externally measured duration.
     pub fn record_step(&mut self, name: &'static str, elapsed: std::time::Duration) {
         self.timer.record(name, elapsed);
+        self.record_step_metrics(name, elapsed);
+    }
+
+    /// Publishes one completed step to the registry (the cluster-wide
+    /// `pgxd_step_ns{step}` histogram and this machine's step counter)
+    /// and to the health monitor's straggler detector.
+    fn record_step_metrics(&self, name: &'static str, elapsed: std::time::Duration) {
+        self.steps_counter.inc();
+        self.registry
+            .histogram(&labeled("pgxd_step_ns", &[("step", name)]))
+            .record_duration(elapsed);
+        if let Some(h) = &self.health {
+            h.note_step_end(self.id, name, elapsed);
+        }
     }
 
     /// Times `f` as a [`EventKind::SortPhase`] span under `name` on the
     /// mainline lane — a sub-step phase (classify/permute/merge) nested
     /// inside a [`Self::step`] Gantt row. Free when tracing is off.
     pub fn phase_scope<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
-        let Some(t) = &self.trace else {
-            return f();
+        let start = std::time::Instant::now();
+        let out = if let Some(t) = &self.trace {
+            let name_id = t.intern(name);
+            let t0 = t.now_ns();
+            let out = f();
+            t.span_since(LANE_MAIN, EventKind::SortPhase, t0, name_id, 0);
+            out
+        } else {
+            f()
         };
-        let name_id = t.intern(name);
-        let t0 = t.now_ns();
-        let out = f();
-        t.span_since(LANE_MAIN, EventKind::SortPhase, t0, name_id, 0);
+        self.registry
+            .histogram(&labeled("pgxd_sort_phase_ns", &[("phase", name)]))
+            .record_duration(start.elapsed());
         out
     }
 
@@ -181,6 +238,9 @@ impl MachineCtx {
     /// with the nanoseconds in the detail payload. No-op when tracing is
     /// off.
     pub fn phase_note(&self, name: &'static str, ns: u64) {
+        self.registry
+            .histogram(&labeled("pgxd_sort_phase_ns", &[("phase", name)]))
+            .record(ns);
         if let Some(t) = &self.trace {
             let name_id = t.intern(name);
             t.instant(LANE_MAIN, EventKind::SortPhase, name_id, ns);
@@ -202,6 +262,14 @@ impl MachineCtx {
         self.stats.summary()
     }
 
+    /// The run's always-on metrics registry — algorithm layers (the
+    /// sorter's load statistics, custom workloads) register their own
+    /// counters/gauges/histograms here; they show up in the run's
+    /// exported snapshot alongside the runtime's.
+    pub fn metrics(&self) -> &SharedMetrics {
+        &self.registry
+    }
+
     /// Synchronizes all machines.
     ///
     /// In debug builds (or with the `checker` feature) the barrier also
@@ -221,10 +289,20 @@ impl MachineCtx {
             .trace
             .as_ref()
             .map(|t| (t.now_ns(), t.next_barrier_index()));
+        if let Some(h) = &self.health {
+            // Parked waiters are stall victims, not suspects — and their
+            // parked state is the detector's evidence against the machine
+            // they are waiting on.
+            h.note_wait_begin(self.id);
+        }
         self.wait_or_unwind();
         if checker::ENABLED {
             self.comm.checker().check_quiescent("barrier", Some(self.id));
             self.wait_or_unwind();
+        }
+        self.barriers_counter.inc();
+        if let Some(h) = &self.health {
+            h.note_wait_end(self.id);
         }
         if let Some((t0, index)) = pre {
             if let Some(t) = &self.trace {

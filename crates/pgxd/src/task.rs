@@ -14,6 +14,7 @@
 //! verification tooling.
 
 use crate::fault::FaultInjector;
+use crate::metrics::Counter;
 use crate::trace::{EventKind, MachineTrace};
 use crossbeam::channel;
 use std::sync::Arc;
@@ -30,6 +31,9 @@ pub struct TaskManager {
     /// The run's fault plane; `None` (one branch per task pickup) when no
     /// [`FaultPlan`](crate::fault::FaultPlan) is armed.
     fault: Option<Arc<FaultInjector>>,
+    /// Registry task-pickup counter (`pgxd_task_pickups_total{machine}`);
+    /// `None` for standalone task managers built outside a cluster.
+    pickups: Option<Counter>,
 }
 
 impl TaskManager {
@@ -39,6 +43,7 @@ impl TaskManager {
             workers: workers.max(1),
             machine: 0,
             fault: None,
+            pickups: None,
         }
     }
 
@@ -53,7 +58,14 @@ impl TaskManager {
             workers: workers.max(1),
             machine,
             fault,
+            pickups: None,
         }
+    }
+
+    /// Attaches the registry's pickup counter; every task pickup on this
+    /// manager (and its clones made afterwards) bumps it.
+    pub(crate) fn set_pickup_counter(&mut self, counter: Counter) {
+        self.pickups = Some(counter);
     }
 
     /// Number of worker threads.
@@ -64,6 +76,9 @@ impl TaskManager {
     /// The straggler fault point: every task pickup on this machine passes
     /// through here. One branch when no plan is armed.
     fn before_pickup(&self) {
+        if let Some(c) = &self.pickups {
+            c.inc();
+        }
         if let Some(f) = &self.fault {
             f.worker_pickup(self.machine);
         }

@@ -1,0 +1,214 @@
+//! Integration tests for the always-on metrics plane on real cluster
+//! runs: the registry must agree *exactly* with the legacy
+//! [`CommSummary`]/[`ExchangeSummary`] accounting (they share cells, so
+//! any drift is a wiring bug), step histograms must see one sample per
+//! machine, the health monitor must name a deterministic straggler and
+//! the step it lagged in, and both exporters must produce well-formed
+//! output from a run that actually moved data — including under a chaos
+//! fault plan, where redelivered and dropped traffic must not double- or
+//! under-count.
+
+use std::time::Duration;
+
+use pgxd::cluster::{Cluster, ClusterConfig, RunReport};
+use pgxd::{FaultPlan, HealthConfig};
+
+/// One §IV-shaped all-to-all: every machine scatters an equal share of a
+/// deterministic keyset to every destination through
+/// `exchange_by_offsets`, inside a named step so the step histogram and
+/// the straggler detector both see it. Returns the number of keys each
+/// machine received.
+fn all_to_all(config: ClusterConfig) -> RunReport<usize> {
+    let cluster = Cluster::new(config);
+    cluster.run(move |ctx| {
+        let p = ctx.num_machines();
+        let n = 4096 * p;
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9).rotate_left(17) ^ ctx.id() as u64)
+            .collect();
+        let per = n / p;
+        let mut offsets: Vec<usize> = (0..p).map(|d| d * per).collect();
+        offsets.push(n);
+        let (received, bounds) = ctx.step("xchg", |c| c.exchange_by_offsets(&data, &offsets));
+        assert_eq!(bounds.len(), p + 1);
+        ctx.barrier();
+        received.len()
+    })
+}
+
+/// The registry and the summary structs must agree field-for-field —
+/// they are views of the same atomic cells, so this pins the
+/// registration wiring (names, no double counting) rather than the
+/// arithmetic.
+fn assert_registry_mirrors_summaries(report: &RunReport<usize>) {
+    let m = &report.metrics;
+    let comm = &report.comm;
+    assert_eq!(
+        m.counter("pgxd_comm_bytes_sent_total"),
+        Some(comm.bytes_sent),
+        "registry bytes_sent must equal CommSummary"
+    );
+    assert_eq!(m.counter("pgxd_comm_messages_total"), Some(comm.messages_sent));
+    assert_eq!(
+        m.counter("pgxd_exchange_chunks_sent_total"),
+        Some(comm.exchange.chunks_sent)
+    );
+    assert_eq!(
+        m.counter("pgxd_exchange_chunks_recycled_total"),
+        Some(comm.exchange.chunks_recycled)
+    );
+    assert_eq!(m.counter("pgxd_pool_hits_total"), Some(comm.exchange.pool_hits));
+    assert_eq!(m.counter("pgxd_pool_misses_total"), Some(comm.exchange.pool_misses));
+    assert_eq!(
+        m.counter("pgxd_exchange_bytes_placed_total"),
+        Some(comm.exchange.bytes_placed)
+    );
+
+    // Per-destination accounting must balance against the aggregate and
+    // against the RunReport's per_dst view, one label per machine.
+    let dsts: Vec<(&str, u64)> = m.counters_of_family("pgxd_comm_dst_bytes_total").collect();
+    assert_eq!(dsts.len(), report.results.len(), "one dst label per machine");
+    let dst_sum: u64 = dsts.iter().map(|(_, v)| *v).sum();
+    assert_eq!(dst_sum, comm.bytes_sent, "per-dst bytes must balance bytes_sent");
+    assert_eq!(report.per_dst_bytes.iter().sum::<u64>(), comm.bytes_sent);
+    assert_eq!(report.per_dst_bytes.len(), report.results.len());
+}
+
+#[test]
+fn registry_mirrors_comm_summary_on_clean_run() {
+    let report = all_to_all(ClusterConfig::new(4));
+    let total: usize = report.results.iter().sum();
+    assert_eq!(total, 4 * 4096 * 4, "all-to-all must conserve keys");
+    assert!(report.comm.bytes_sent > 0, "the run must have moved data");
+    assert_registry_mirrors_summaries(&report);
+}
+
+#[test]
+fn registry_mirrors_comm_summary_under_chaos() {
+    // Chaos redelivers, reorders, and drops traffic; the shared-cell
+    // design means the registry still equals the summary exactly.
+    let report = all_to_all(ClusterConfig::new(4).fault(FaultPlan::chaos(29)));
+    let total: usize = report.results.iter().sum();
+    assert_eq!(total, 4 * 4096 * 4, "chaos must not lose keys");
+    assert_registry_mirrors_summaries(&report);
+    assert!(
+        report.metrics.counter("pgxd_fault_delays_total").unwrap_or(0) > 0,
+        "chaos plan should have fired at least one delay"
+    );
+}
+
+#[test]
+fn step_histogram_counts_one_sample_per_machine() {
+    let report = all_to_all(ClusterConfig::new(4));
+    let h = report
+        .metrics
+        .histogram("pgxd_step_ns{step=\"xchg\"}")
+        .expect("step() must register a per-step histogram");
+    assert_eq!(h.count, 4, "one sample per machine");
+    let exact_max = report.steps.max_across_machines("xchg").as_nanos() as u64;
+    assert_eq!(h.max, exact_max, "histogram max is exact, not bucketed");
+    // The log2-bucketed p95 may only sit above the exact nearest-rank
+    // view (bucket upper bound), clamped to the observed max.
+    let exact_p95 = report.steps.p95_across_machines("xchg").as_nanos() as u64;
+    assert!(h.p95() >= exact_p95, "{} < {exact_p95}", h.p95());
+    assert!(h.p95() <= h.max);
+    let steps_total: u64 = report
+        .metrics
+        .counters_of_family("pgxd_steps_total")
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(steps_total, 4, "each machine's step counter fires once");
+}
+
+#[test]
+fn health_monitor_names_straggler_and_stalled_step() {
+    let config = ClusterConfig::new(4).health(
+        HealthConfig::enabled()
+            .interval(Duration::from_millis(2))
+            .stall_after(Duration::from_millis(20))
+            .straggler(2.0, Duration::from_millis(10)),
+    );
+    let report = Cluster::new(config).run(|ctx| {
+        ctx.step("work", |c| {
+            // Machine 2 is sabotaged: 120ms against a 2ms median, far
+            // past both the 2x straggler ratio and the 20ms stall
+            // window while its peers park at the barrier below.
+            if c.id() == 2 {
+                std::thread::sleep(Duration::from_millis(120));
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        ctx.barrier();
+    });
+    let health = report.health.expect("monitor was enabled");
+    assert!(health.samples >= 1, "watchdog must have sampled");
+    let straggler = health
+        .stragglers()
+        .find(|v| v.machine() == Some(2))
+        .unwrap_or_else(|| panic!("no straggler verdict for machine 2:\n{health}"));
+    assert_eq!(straggler.step(), Some("work"), "verdict must name the slow step");
+    assert!(
+        health.stalls().any(|v| v.machine() == Some(2)),
+        "parked peers should expose machine 2 as the barrier holdout:\n{health}"
+    );
+    // The report doubles as a flight record: its snapshot and JSON view
+    // carry the verdicts for offline triage.
+    assert!(health.metrics.counter("pgxd_health_verdicts_total").unwrap_or(0) >= 2);
+    let json = health.to_json();
+    assert!(json.contains("\"kind\":\"straggler\""), "{json}");
+    assert!(json.contains("\"schema\":\"pgxd-health/1\""), "{json}");
+}
+
+#[test]
+fn disabled_monitor_attaches_no_report() {
+    let report = all_to_all(ClusterConfig::new(2));
+    assert!(report.health.is_none(), "health is strictly opt-in");
+}
+
+#[test]
+fn run_error_carries_flight_record() {
+    let config = ClusterConfig::new(4)
+        .fault(
+            FaultPlan::chaos(11)
+                .kill(1, 3)
+                .step_timeout(Duration::from_secs(20)),
+        )
+        .health(HealthConfig::enabled().interval(Duration::from_millis(2)));
+    let cluster = Cluster::new(config);
+    let err = cluster
+        .try_run(|ctx| {
+            let p = ctx.num_machines();
+            let n = 1024 * p;
+            let data: Vec<u64> = (0..n as u64).collect();
+            let per = n / p;
+            let mut offsets: Vec<usize> = (0..p).map(|d| d * per).collect();
+            offsets.push(n);
+            let (received, _) = ctx.step("xchg", |c| c.exchange_by_offsets(&data, &offsets));
+            ctx.barrier();
+            received.len()
+        })
+        .expect_err("the kill plan must abort the run");
+    let health = err.health.as_ref().expect("aborts still attach the flight record");
+    assert!(
+        health.metrics.counter("pgxd_fault_kills_total").unwrap_or(0) >= 1,
+        "the pre-abort snapshot must show the kill that caused it"
+    );
+}
+
+#[test]
+fn exporters_are_wellformed_from_real_run() {
+    let report = all_to_all(ClusterConfig::new(3));
+    let prom = report.metrics.to_prometheus_text();
+    assert!(prom.contains("# TYPE pgxd_comm_bytes_sent_total counter"), "{prom}");
+    assert!(prom.contains("pgxd_comm_dst_bytes_total{dst=\"0\"}"), "{prom}");
+    assert!(prom.contains("# TYPE pgxd_step_ns histogram"), "{prom}");
+    assert!(prom.contains("le=\"+Inf\""), "{prom}");
+    let json = report.metrics.to_json();
+    assert!(json.starts_with("{\"schema\":\"pgxd-metrics/1\""), "{json}");
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "JSON braces must balance"
+    );
+}

@@ -87,6 +87,9 @@ struct Scratch<T> {
 }
 
 impl<T: Copy> Scratch<T> {
+    // analyze: allow(hot-path-alloc): per-invocation scratch (buckets, swap
+    // blocks) sized by the classifier constants, reused across all
+    // recursion levels of one sort call.
     fn new() -> Self {
         Scratch {
             bufs: Vec::new(),
@@ -131,6 +134,9 @@ pub fn in_place_sample_sort_stats_into<T: Key>(data: &mut [T], stats: &mut IpsSt
 // analyze: allow(panic-surface): chunk bounds come from even_chunk_bounds
 // over data.len(), and the per-worker stats mutexes are function-local —
 // poison means a kernel already panicked.
+// analyze: allow(hot-path-alloc): worker handoff buffers at batch scale —
+// per-worker stat cells and one scratch copy per call; algos has no
+// pool access by layering (no pgxd dependency).
 pub fn in_place_sample_sort_par<T: Key>(data: &mut [T], workers: usize) -> IpsStats {
     let n = data.len();
     let workers = workers.max(1).min((n / exec::MIN_ITEMS_PER_WORKER).max(1));

@@ -23,6 +23,8 @@ pub struct LoserTree<'a, T> {
 
 impl<'a, T: Ord + Copy> LoserTree<'a, T> {
     /// Builds the tree over the given sorted runs (empty runs allowed).
+    // analyze: allow(hot-path-alloc): O(k) run pointers and tree nodes per
+    // merge; k is the run count, never the element count.
     pub fn new(runs: Vec<&'a [T]>) -> Self {
         let k = runs.len().max(1);
         let mut lt = LoserTree {
@@ -65,6 +67,8 @@ impl<'a, T: Ord + Copy> LoserTree<'a, T> {
     /// winners of positions `2n` and `2n+1`, storing the loser in
     /// `tree[n]`. Run index `usize::MAX` is a virtual "always loses" run
     /// that pads positions with no real leaf.
+    // analyze: allow(hot-path-alloc): O(k) node reset when a merge is
+    // re-seeded; amortized over the whole merged output.
     fn rebuild(&mut self) {
         let k = self.k;
         self.tree = vec![usize::MAX; k];
@@ -119,6 +123,8 @@ impl<'a, T: Ord + Copy> LoserTree<'a, T> {
 }
 
 /// Merges `k` sorted runs into one sorted vector with a loser tree.
+// analyze: allow(hot-path-alloc): O(k) run-slice copies plus the output
+// vector — the output IS the merge result handed back to the caller.
 pub fn kway_merge<T: Ord + Copy>(runs: &[&[T]]) -> Vec<T> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
@@ -134,6 +140,8 @@ pub fn kway_merge<T: Ord + Copy>(runs: &[&[T]]) -> Vec<T> {
 /// must equal the total run length. The allocation-free form of
 /// [`kway_merge`], used by the parallel multiway merge to fill disjoint
 /// output segments in place.
+// analyze: allow(hot-path-alloc): O(k) run-slice copy to seed the loser
+// tree; the element payload goes to the caller-provided slice.
 pub fn kway_merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     assert_eq!(total, out.len(), "output size mismatch");
@@ -155,6 +163,8 @@ pub fn kway_merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) {
 /// Merges `k` sorted runs, also reporting for every output element which
 /// run it came from. Used where provenance matters (e.g. tracing samples
 /// back to their processor).
+// analyze: allow(hot-path-alloc): O(k) run-slice copy plus the tagged
+// output vector the verifier consumes.
 pub fn kway_merge_tagged<T: Ord + Copy>(runs: &[&[T]]) -> Vec<(T, usize)> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);

@@ -78,6 +78,9 @@ pub const PARALLEL_MERGE_CUTOFF: usize = 1 << 14;
 /// `workers` caps the threads used *per step*: the pair-merges of one step
 /// run concurrently, and leftover worker budget parallelizes the
 /// individual merges of the later (wider) steps.
+// analyze: allow(hot-path-alloc): per-part staging buffers at batch
+// scale — each part is merged once into its slot and escapes as the
+// call's output; algos has no pool access by layering.
 pub fn balanced_merge<T: Ord + Copy + Send + Sync>(
     mut data: Vec<T>,
     bounds: &[usize],
@@ -205,6 +208,8 @@ const SPLIT_OVERSAMPLE: usize = 8;
 /// greedily distributing elements equal to the boundary value, so equal
 /// keys may change run-relative order *across* part boundaries (within a
 /// part the merge stays stable in run order).
+// analyze: allow(hot-path-alloc): O(parts × k) split plan — the plan is
+// the function's product, sized by run/part counts, not elements.
 pub fn plan_multiway_splits<T: Ord + Copy>(runs: &[&[T]], parts: usize) -> Vec<Vec<usize>> {
     let parts = parts.max(1);
     let total: usize = runs.iter().map(|r| r.len()).sum();
@@ -267,6 +272,8 @@ pub fn plan_multiway_splits<T: Ord + Copy>(runs: &[&[T]], parts: usize) -> Vec<V
 /// independently on a scoped thread — one pass over the data, each worker
 /// streaming into its own contiguous, cache-local output segment. Small
 /// inputs fall through to the sequential [`kway_merge_into`].
+// analyze: allow(hot-path-alloc): O(parts) slice bookkeeping around the
+// in-place merge of caller-owned memory.
 pub fn parallel_kway_merge_into<T: Ord + Copy + Send + Sync>(
     runs: &[&[T]],
     out: &mut [T],
@@ -320,6 +327,8 @@ pub fn parallel_kway_merge<T: Ord + Copy + Send + Sync>(
 
 /// Sequential form of the Fig. 2 tree: identical merge schedule, no
 /// thread spawns. Used automatically for small inputs.
+// analyze: allow(hot-path-alloc): fallback path ping-pong buffer at
+// batch scale; the result escapes as the merged output.
 fn balanced_merge_sequential<T: Ord + Copy>(mut data: Vec<T>, bounds: &[usize]) -> Vec<T> {
     let mut cur_bounds: Vec<usize> = bounds.to_vec();
     let mut scratch: Vec<T> = data.clone();

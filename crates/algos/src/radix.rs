@@ -50,6 +50,8 @@ impl RadixKey for i64 {
 /// passes where every key shares the same digit (common on duplicated or
 /// small-range data). Allocates one internal scratch buffer; callers with
 /// a buffer to recycle should use [`radix_sort_with_scratch`].
+// analyze: allow(hot-path-alloc): one counting-scratch vector per sort
+// call, reused across all digit passes.
 pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
     let mut scratch = Vec::new();
     radix_sort_with_scratch(data, &mut scratch);
@@ -136,6 +138,8 @@ impl<K: Key> RadixDispatch for K {
     // analyze: allow(panic-surface): every downcast is guarded by the
     // TypeId comparison on the line above it — the box always holds the
     // type named in the expect.
+    // analyze: allow(hot-path-alloc): per-worker chunk staging at batch
+    // scale — the chunks escape as the distributed exchange payload.
     fn radix_sort_chunks(data: Vec<K>, workers: usize) -> Result<(Vec<K>, Vec<usize>), Vec<K>> {
         fn go<T: RadixKey + Key>(data: Vec<T>, workers: usize) -> (Vec<T>, Vec<usize>) {
             let mut data = data;
@@ -186,6 +190,8 @@ impl<K: Key> RadixDispatch for K {
 /// merge). `Err` returns the input untouched for non-radix key types.
 // analyze: allow(panic-surface): run bounds come from even_chunk_bounds
 // over the data length, so every bounds window indexes in range.
+// analyze: allow(hot-path-alloc): merge staging for the per-chunk
+// results; the output vector is what the caller takes ownership of.
 pub fn try_parallel_radix_sort<K: Key>(data: Vec<K>, workers: usize) -> Result<Vec<K>, Vec<K>> {
     let (chunked, bounds) = K::radix_sort_chunks(data, workers)?;
     if bounds.len() <= 2 {

@@ -37,6 +37,8 @@ pub fn super_scalar_sample_sort<T: Key>(mut data: Vec<T>) -> Vec<T> {
 /// caller-supplied scratch buffer (resized here to the slice length; prior
 /// capacity is reused). One scratch + one label buffer serve every
 /// recursion level — no per-level or per-bucket allocation.
+// analyze: allow(hot-path-alloc): oracle-label buffer sized once per
+// call; the element scratch itself is caller-provided and reused.
 pub fn super_scalar_sample_sort_with_scratch<T: Key>(data: &mut [T], scratch: &mut Vec<T>) {
     let n = data.len();
     if n < 2 {
@@ -49,6 +51,8 @@ pub fn super_scalar_sample_sort_with_scratch<T: Key>(data: &mut [T], scratch: &m
     sort_rec(data, &mut scratch[..n], &mut labels, depth_limit as usize);
 }
 
+// analyze: allow(hot-path-alloc): O(k) splitter/bucket bookkeeping per
+// recursion level; element payloads stay in the shared scratch.
 fn sort_rec<T: Key>(data: &mut [T], scratch: &mut [T], labels: &mut [u8], depth: usize) {
     let n = data.len();
     debug_assert_eq!(scratch.len(), n);

@@ -12,6 +12,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use crate::items::{Function, ParsedFile, KEYWORDS};
+use crate::lexer::Tok;
 use crate::report::Finding;
 
 /// Guard-producing method names (empty-paren calls through `pgxd::sync`).
@@ -95,6 +96,19 @@ pub struct FnSites {
     sites: Vec<Site>,
 }
 
+impl FnSites {
+    /// Resolved workspace call sites (token index, line, targets) — the
+    /// call half of the extracted sites, shared with the v3 passes so
+    /// hot-path reachability walks the same graph the effect fixpoint
+    /// does.
+    pub(crate) fn calls(&self) -> impl Iterator<Item = (usize, usize, &[String])> + '_ {
+        self.sites.iter().filter_map(|s| match &s.op {
+            RawOp::Call { targets } => Some((s.idx, s.line, targets.as_slice())),
+            RawOp::Blocking { .. } => None,
+        })
+    }
+}
+
 /// An effect a function may have, with the call chain that reaches it.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Effect {
@@ -128,9 +142,155 @@ pub struct AnalysisResult {
     pub cycles: Vec<Vec<String>>,
 }
 
-fn is_ident(t: &str) -> bool {
+pub(crate) fn is_ident(t: &str) -> bool {
     t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
         && !KEYWORDS.contains(&t)
+}
+
+/// Token index of the `(` opening the argument list of the call whose
+/// name sits at `name_idx`, looking through a `::<…>` turbofish between
+/// the name and the parens (`.collect::<Vec<_>>(`, `recv_vec::<T>(`).
+/// `None` when the name is not followed by a call.
+pub(crate) fn call_open_paren(toks: &[Tok], name_idx: usize) -> Option<usize> {
+    let next = toks.get(name_idx + 1)?;
+    if next.text == "(" {
+        return Some(name_idx + 1);
+    }
+    if next.text != ":"
+        || toks.get(name_idx + 2).map(|t| t.text.as_str()) != Some(":")
+        || toks.get(name_idx + 3).map(|t| t.text.as_str()) != Some("<")
+    {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut j = name_idx + 4;
+    while j < toks.len() && depth > 0 {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            // Ran off the expression: this was `a::b < c`, not a turbofish.
+            ";" | "{" | "}" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if depth != 0 {
+        return None;
+    }
+    (toks.get(j).map(|t| t.text.as_str()) == Some("(")).then_some(j)
+}
+
+/// Walks the `.`-chain that ends at the method call whose `.` is at
+/// `dot`, backwards, and returns `(root, segments)`: the chain root
+/// (`self`, an identifier, or `<expr>` for grouped/literal receivers)
+/// and the member/call segment names from the root outwards. Index
+/// expressions are skipped (`a.b[i].lock()` → `("a", ["b"])`), call
+/// segments keep their name (`self.held.lock().iter()` at the `.iter`
+/// dot → `("self", ["held", "lock"])`), and turbofish on intermediate
+/// calls is looked through.
+pub(crate) fn receiver_chain(pf: &ParsedFile, dot: usize, start: usize) -> (String, Vec<String>) {
+    let (root, segs, _) = receiver_chain_span(pf, dot, start);
+    (root, segs)
+}
+
+/// [`receiver_chain`] plus the token index where the receiver expression
+/// begins. The chain skips index brackets and call arguments by design;
+/// callers that need everything the receiver *mentions* (e.g. loop
+/// variables inside `a[(start + i) % N].lock()`) scan
+/// `toks[span_start..dot]` themselves.
+pub(crate) fn receiver_chain_span(
+    pf: &ParsedFile,
+    dot: usize,
+    start: usize,
+) -> (String, Vec<String>, usize) {
+    let toks = &pf.toks;
+    // Innermost-first while walking backwards; reversed at the end.
+    let mut names: Vec<String> = Vec::new();
+    let mut k = dot;
+    loop {
+        if k <= start {
+            break;
+        }
+        match toks[k - 1].text.as_str() {
+            "]" => {
+                let mut b = 1usize;
+                let mut j = k - 1;
+                while j > start && b > 0 {
+                    j -= 1;
+                    match toks[j].text.as_str() {
+                        "]" => b += 1,
+                        "[" => b -= 1,
+                        _ => {}
+                    }
+                }
+                k = j;
+            }
+            ")" => {
+                let mut b = 1usize;
+                let mut j = k - 1;
+                while j > start && b > 0 {
+                    j -= 1;
+                    match toks[j].text.as_str() {
+                        ")" => b += 1,
+                        "(" => b -= 1,
+                        _ => {}
+                    }
+                }
+                // `j` is at `(`; look through a `::<…>` turbofish.
+                let mut m = j;
+                if m > start && toks[m - 1].text == ">" {
+                    let mut ab = 1usize;
+                    let mut n = m - 1;
+                    while n > start && ab > 0 {
+                        n -= 1;
+                        match toks[n].text.as_str() {
+                            ">" => ab += 1,
+                            "<" => ab -= 1,
+                            _ => {}
+                        }
+                    }
+                    if ab == 0
+                        && n >= start + 2
+                        && toks[n - 1].text == ":"
+                        && toks[n - 2].text == ":"
+                    {
+                        m = n - 2;
+                    }
+                }
+                if m > start && is_ident(&toks[m - 1].text) {
+                    names.push(toks[m - 1].text.clone());
+                    k = m - 1;
+                    if k > start && toks[k - 1].text == "." {
+                        k -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                k = j;
+                names.push("<expr>".into());
+                break;
+            }
+            t if t == "self" || is_ident(t) => {
+                names.push(toks[k - 1].text.clone());
+                k -= 1;
+                if k > start && toks[k - 1].text == "." {
+                    k -= 1;
+                    continue;
+                }
+                break;
+            }
+            _ => {
+                names.push("<expr>".into());
+                break;
+            }
+        }
+    }
+    if names.is_empty() {
+        return ("<expr>".into(), Vec::new(), k);
+    }
+    names.reverse();
+    let root = names.remove(0);
+    (root, names, k)
 }
 
 /// First `}` after `from` closing the block whose *contents* sit at
@@ -340,22 +500,22 @@ pub fn extract_fn(pf: &ParsedFile, f: &Function, ix: &FnIndex) -> FnSites {
     let mut i = s;
     while i < e {
         let t = &pf.toks[i].text;
-        // Method call: `. name (`
-        if t == "."
-            && i + 2 < e
-            && is_ident(&pf.toks[i + 1].text)
-            && pf.toks[i + 2].text == "("
-        {
+        // Method call: `. name (`, with `. name ::<…> (` turbofish.
+        if t == "." && i + 2 < e && is_ident(&pf.toks[i + 1].text) {
+            let Some(open) = call_open_paren(&pf.toks, i + 1).filter(|&o| o < e) else {
+                i += 1;
+                continue;
+            };
             let name = pf.toks[i + 1].text.clone();
-            let empty = pf.toks.get(i + 3).map(|t| t.text.as_str()) == Some(")");
+            let empty = pf.toks.get(open + 1).map(|t| t.text.as_str()) == Some(")");
             if GUARD_METHODS.contains(&name.as_str()) && empty {
                 guards.push(guard_site(pf, i, s, e, f, &aliases));
-                i += 4;
+                i = open + 2;
                 continue;
             }
             if BLOCKING_METHODS.contains(&name.as_str()) {
                 let exclude_arg = if name.starts_with("wait") {
-                    first_arg_ident(pf, i + 2, e)
+                    first_arg_ident(pf, open, e)
                 } else {
                     None
                 };
@@ -374,12 +534,16 @@ pub fn extract_fn(pf: &ParsedFile, f: &Function, ix: &FnIndex) -> FnSites {
                     op: RawOp::Call { targets },
                 });
             }
-            i += 3;
+            i = open + 1;
             continue;
         }
-        // Path or free call: `name (` not preceded by `.`
-        if is_ident(t) && i + 1 < e && pf.toks[i + 1].text == "(" && (i == s || pf.toks[i - 1].text != ".")
-        {
+        // Path or free call: `name (` (or `name ::<…> (`) not preceded
+        // by `.`
+        if is_ident(t) && i + 1 < e && (i == s || pf.toks[i - 1].text != ".") {
+            let Some(open) = call_open_paren(&pf.toks, i).filter(|&o| o < e) else {
+                i += 1;
+                continue;
+            };
             let name = t.clone();
             let targets = if i >= s + 3
                 && pf.toks[i - 1].text == ":"
@@ -397,7 +561,7 @@ pub fn extract_fn(pf: &ParsedFile, f: &Function, ix: &FnIndex) -> FnSites {
                     op: RawOp::Call { targets },
                 });
             }
-            i += 2;
+            i = open + 1;
             continue;
         }
         i += 1;

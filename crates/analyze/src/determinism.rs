@@ -1,0 +1,396 @@
+//! Replay-determinism pass (`determinism`, schema pgxd-analyze/3).
+//!
+//! The fault plane (PR 6) promises seed replay: the same
+//! `PGXD_FAULT_SEED` reproduces the same injected failures, and the
+//! splitter/sampling pipeline promises that a batch sorts the same way
+//! on every run. Both promises die quietly the moment replay-critical
+//! code consults a non-deterministic source. This pass statically pins
+//! the invariant over the replay-critical files:
+//!
+//! * `fault.rs` — injection decision sites,
+//! * `sampling.rs` / `investigator.rs` — splitter selection,
+//! * `partition.rs` — ghost-cell/partition decisions,
+//!
+//! plus any file carrying an `analyze: scope(determinism)` comment
+//! (fixtures). Flagged sources:
+//!
+//! * **hashmap-iteration** — iterating a `HashMap`/`HashSet`
+//!   (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`,
+//!   `.into_iter()`, or a `for` over it): iteration order is
+//!   `RandomState`-seeded per process, so any order reaching output,
+//!   wire order, or a decision diverges across runs. Membership tests
+//!   and keyed insert/remove are clean — only *iteration* is flagged.
+//!   Receivers are typed heuristically: a name is map-typed when the
+//!   file declares it with a `HashMap`/`HashSet` type ascription
+//!   (field, param, or `let`) or binds it from `HashMap::new()`-style
+//!   constructors.
+//! * **random-state** — any `RandomState` mention: an explicitly
+//!   seeded hasher is the fix, not a fresh random one.
+//! * **instant-now** — `Instant::now` / `SystemTime::now` anywhere in
+//!   a replay-critical file. A deliberate approximation: wall-clock
+//!   reads that only feed telemetry are annotated in place rather than
+//!   whitelisted structurally, so every new timing read forces the
+//!   author to say why replay survives it.
+//! * **thread-rng** — `thread_rng`/`rand::random` calls; replay code
+//!   must derive randomness from the run seed.
+//!
+//! All four kinds accept `analyze: allow(determinism): <reason>`
+//! (panic-surface coverage rules, reason mandatory) — unlike custody
+//! leaks and unbounded growth these sometimes *are* justified (e.g. a
+//! wall-clock barrier timeout that aborts the run rather than steering
+//! replayed decisions). The `nondet_sources` inventory in the report
+//! lists every detected source *including* annotated ones, so the
+//! audit surface stays visible.
+
+use std::collections::HashSet;
+
+use crate::analysis::{call_open_paren, is_ident, marker_allowed_lines, receiver_chain};
+use crate::items::ParsedFile;
+use crate::report::Finding;
+use crate::waitgraph::body_open;
+
+/// Replay-critical files (suffix match on workspace paths).
+const DET_FILES: [&str; 4] = [
+    "crates/pgxd/src/fault.rs",
+    "crates/core/src/sampling.rs",
+    "crates/core/src/investigator.rs",
+    "crates/pgxd/src/partition.rs",
+];
+
+/// Marker pulling extra files (fixtures) into scope.
+pub const SCOPE_MARKER: &str = "analyze: scope(determinism)";
+
+/// Inline escape hatch, panic-surface coverage rules.
+pub const ALLOW_MARKER: &str = "analyze: allow(determinism)";
+
+/// Map methods whose call means *iteration* (order-dependent).
+const ITER_METHODS: [&str; 8] =
+    ["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain"];
+
+/// One detected source, annotated or not — the audit inventory.
+#[derive(Debug, Clone)]
+pub struct NondetSource {
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+    /// `hashmap-iteration` | `random-state` | `instant-now` |
+    /// `thread-rng`.
+    pub kind: String,
+}
+
+pub struct Determinism {
+    pub findings: Vec<Finding>,
+    pub sources: Vec<NondetSource>,
+}
+
+fn in_scope(pf: &ParsedFile) -> bool {
+    DET_FILES.iter().any(|s| pf.rel.ends_with(s))
+        || pf.stripped.comments.iter().any(|c| c.contains(SCOPE_MARKER))
+}
+
+/// Names declared with a `HashMap`/`HashSet` type in this file: struct
+/// fields, fn params, and `let` ascriptions (`name : … HashMap < … >`),
+/// plus `let [mut] name = … HashMap::new()/with_capacity()/default()`.
+fn hash_typed_names(pf: &ParsedFile) -> HashSet<String> {
+    let toks = &pf.toks;
+    let mut out = HashSet::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        // `name :` followed by a type mentioning HashMap/HashSet before
+        // the ascription ends (`,` `;` `)` `}` `=` at angle depth 0).
+        if is_ident(&toks[i].text)
+            && toks[i + 1].text == ":"
+            && toks.get(i + 2).map(|t| t.text.as_str()) != Some(":")
+            && (i == 0 || toks[i - 1].text != ":")
+        {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "HashMap" | "HashSet" => {
+                        out.insert(toks[i].text.clone());
+                    }
+                    "," | ";" | ")" | "}" | "=" | "{" if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // `let [mut] name = … HashMap :: new ( …` up to the `;`.
+        if toks[i].text == "let" {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| is_ident(&t.text)) {
+                let name = toks[j].text.clone();
+                let mut k = j + 1;
+                let mut saw_eq = false;
+                while k < toks.len() && toks[k].text != ";" {
+                    if toks[k].text == "=" {
+                        saw_eq = true;
+                    }
+                    if saw_eq && (toks[k].text == "HashMap" || toks[k].text == "HashSet") {
+                        out.insert(name.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+pub fn analyze_determinism(files: &[ParsedFile]) -> Determinism {
+    let mut findings = Vec::new();
+    let mut sources = Vec::new();
+    for pf in files {
+        if !in_scope(pf) {
+            continue;
+        }
+        let allowed = marker_allowed_lines(pf, ALLOW_MARKER);
+        let hashed = hash_typed_names(pf);
+        for f in &pf.functions {
+            let (s, e) = f.body;
+            // Lines already reported for this fn, to fold the `for x in
+            // map.iter()` double-detection into one source.
+            let mut seen: HashSet<(usize, &'static str)> = HashSet::new();
+            let push = |line: usize,
+                            kind: &'static str,
+                            name: &str,
+                            seen: &mut HashSet<(usize, &'static str)>,
+                            sources: &mut Vec<NondetSource>,
+                            findings: &mut Vec<Finding>| {
+                if !seen.insert((line, kind)) {
+                    return;
+                }
+                sources.push(NondetSource {
+                    file: pf.rel.clone(),
+                    line,
+                    function: f.name.clone(),
+                    kind: kind.to_string(),
+                });
+                if allowed.contains(&line) {
+                    return;
+                }
+                let (operation, message) = match kind {
+                    "hashmap-iteration" => (
+                        format!("hashmap-iteration({name})"),
+                        format!(
+                            "iterating hash-ordered `{name}` in replay-critical `{}` — RandomState order diverges across runs; iterate a `BTreeMap`/sorted keys, or annotate with `{ALLOW_MARKER}: <reason>`",
+                            f.name
+                        ),
+                    ),
+                    "random-state" => (
+                        "random-state".to_string(),
+                        format!(
+                            "`RandomState` in replay-critical `{}` — use a seeded hasher so replay sees the same order",
+                            f.name
+                        ),
+                    ),
+                    "instant-now" => (
+                        format!("instant-now({name})"),
+                        format!(
+                            "`{name}::now` in replay-critical `{}` — wall-clock reads steer replay unless they only feed telemetry/abort; annotate with `{ALLOW_MARKER}: <reason>` if so",
+                            f.name
+                        ),
+                    ),
+                    _ => (
+                        "thread-rng".to_string(),
+                        format!(
+                            "ambient randomness in replay-critical `{}` — derive randomness from the run seed",
+                            f.name
+                        ),
+                    ),
+                };
+                findings.push(Finding {
+                    rule: "determinism".into(),
+                    file: pf.rel.clone(),
+                    line,
+                    function: f.name.clone(),
+                    held: None,
+                    operation,
+                    chain: vec![format!("nondet source at {}:{}", pf.rel, line)],
+                    message,
+                });
+            };
+
+            let mut i = s;
+            while i < e {
+                let t = pf.toks[i].text.as_str();
+                // `Instant::now(` / `SystemTime::now(`.
+                if (t == "Instant" || t == "SystemTime")
+                    && pf.toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+                    && pf.toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
+                    && pf.toks.get(i + 3).map(|t| t.text.as_str()) == Some("now")
+                {
+                    push(pf.toks[i].line, "instant-now", t, &mut seen, &mut sources, &mut findings);
+                    i += 4;
+                    continue;
+                }
+                if t == "RandomState" {
+                    push(pf.toks[i].line, "random-state", t, &mut seen, &mut sources, &mut findings);
+                    i += 1;
+                    continue;
+                }
+                if t == "thread_rng" || (t == "random" && i > s && pf.toks[i - 1].text == ":") {
+                    push(pf.toks[i].line, "thread-rng", t, &mut seen, &mut sources, &mut findings);
+                    i += 1;
+                    continue;
+                }
+                // `.iter()`-class call on a hash-typed receiver chain.
+                if t == "." && i + 2 < e && is_ident(&pf.toks[i + 1].text) {
+                    if let Some(open) = call_open_paren(&pf.toks, i + 1) {
+                        let m = pf.toks[i + 1].text.as_str();
+                        if ITER_METHODS.contains(&m) {
+                            let (root, segs) = receiver_chain(pf, i, s);
+                            let hit = std::iter::once(root.as_str())
+                                .chain(segs.iter().map(|s| s.as_str()))
+                                .find(|n| hashed.contains(*n));
+                            if let Some(name) = hit {
+                                let name = name.to_string();
+                                push(
+                                    pf.toks[i].line,
+                                    "hashmap-iteration",
+                                    &name,
+                                    &mut seen,
+                                    &mut sources,
+                                    &mut findings,
+                                );
+                            }
+                        }
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                // `for pat in <expr mentioning a hash-typed name> {`.
+                if t == "for" {
+                    if let Some(open) = body_open(pf, i + 1, e) {
+                        if let Some(in_idx) = (i + 1..open).find(|&j| pf.toks[j].text == "in") {
+                            let hit = (in_idx + 1..open)
+                                .map(|j| pf.toks[j].text.as_str())
+                                .find(|n| hashed.contains(*n));
+                            if let Some(name) = hit {
+                                let name = name.to_string();
+                                push(
+                                    pf.toks[i].line,
+                                    "hashmap-iteration",
+                                    &name,
+                                    &mut seen,
+                                    &mut sources,
+                                    &mut findings,
+                                );
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    findings.sort_by_key(|f| f.sort_key());
+    findings.dedup_by(|a, b| a.sort_key() == b.sort_key());
+    sources.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.kind.as_str()).cmp(&(b.file.as_str(), b.line, b.kind.as_str()))
+    });
+    sources.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.kind == b.kind);
+    Determinism { findings, sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+
+    fn run(src: &str) -> Determinism {
+        let marked = format!("// analyze: scope(determinism)\n{src}");
+        analyze_determinism(&[parse_file("t.rs", &marked)])
+    }
+
+    #[test]
+    fn hashmap_field_iteration_is_flagged() {
+        let r = run(
+            "pub struct P { pending: HashMap<u64, u32> }\nimpl P {\n    fn decide(&self) -> u32 {\n        let mut acc = 0;\n        for (_, v) in self.pending.iter() {\n            acc += v;\n        }\n        acc\n    }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "hashmap-iteration(pending)");
+        assert_eq!(r.findings[0].line, 6);
+    }
+
+    #[test]
+    fn membership_and_keyed_access_are_clean() {
+        let r = run(
+            "pub struct P { ghosts: HashSet<u64>, held: HashMap<u64, u32> }\nimpl P { fn probe(&mut self, k: u64) -> bool { self.held.remove(&k); self.ghosts.contains(&k) } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn iteration_through_lock_segment_is_tracked() {
+        let r = run(
+            "pub struct F { held: Mutex<HashMap<u64, u32>> }\nimpl F {\n    fn survey(&self) -> usize {\n        self.held.lock().iter().count()\n    }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "hashmap-iteration(held)");
+        assert_eq!(r.findings[0].line, 5);
+    }
+
+    #[test]
+    fn let_bound_map_for_loop_is_flagged() {
+        let r = run(
+            "fn plan() -> Vec<u64> {\n    let mut m = HashMap::new();\n    m.insert(1u64, 2u64);\n    let mut out = Vec::new();\n    for k in m.keys() {\n        out.push(*k);\n    }\n    out\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "hashmap-iteration(m)");
+        assert_eq!(r.findings[0].line, 6);
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let r = run(
+            "pub struct P { pending: BTreeMap<u64, u32> }\nimpl P { fn decide(&self) -> u32 { self.pending.values().sum() } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn instant_now_is_flagged_and_annotatable() {
+        let r = run(
+            "impl S {\n    fn stamp(&self) -> u128 {\n        let t = Instant::now();\n        t.elapsed().as_nanos()\n    }\n}\n",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "instant-now(Instant)");
+        assert_eq!(r.findings[0].line, 4);
+        let ok = run(
+            "impl S {\n    fn stamp(&self) -> u128 {\n        // analyze: allow(determinism): telemetry only, never steers a decision\n        let t = Instant::now();\n        t.elapsed().as_nanos()\n    }\n}\n",
+        );
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        // The inventory still lists the annotated source.
+        assert_eq!(ok.sources.len(), 1);
+        assert_eq!(ok.sources[0].kind, "instant-now");
+    }
+
+    #[test]
+    fn random_state_is_flagged() {
+        let r = run(
+            "fn mk() -> HashMap<u64, u32, RandomState> { HashMap::with_hasher(RandomState::new()) }",
+        );
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].operation, "random-state");
+    }
+
+    #[test]
+    fn out_of_scope_file_is_ignored() {
+        let pf = parse_file(
+            "crates/pgxd/src/machine.rs",
+            "impl S { fn stamp(&self) -> Instant { Instant::now() } }",
+        );
+        let r = analyze_determinism(&[pf]);
+        assert!(r.findings.is_empty());
+        assert!(r.sources.is_empty());
+    }
+}

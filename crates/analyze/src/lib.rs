@@ -1,6 +1,6 @@
 //! pgxd-analyze: dependency-free static analysis for the pgxd runtime.
 //!
-//! Six passes over `crates/pgxd/src`, `crates/core/src`, and
+//! Nine passes over `crates/pgxd/src`, `crates/core/src`, and
 //! `crates/algos/src` (minus the `sync.rs` shim, which is the sanctioned
 //! boundary to the real primitives):
 //!
@@ -26,6 +26,18 @@
 //! 6. **atomics-ordering** — no `Relaxed` publication in the
 //!    seqlock/cursor files without an inline justification (see
 //!    [`atomics`]).
+//! 7. **hot-path-alloc** — heap allocations reachable from hot regions
+//!    (§IV step bodies, the exchange/fabric send/recv surface, the
+//!    local-sort kernels, trace/metrics emit paths) through the resolved
+//!    call graph, with the full root-to-site chain (see [`hotpath`]).
+//! 8. **loop-discipline** — loop-invariant lock/`ChunkPool::acquire`
+//!    acquisition inside loops, and unbounded collection growth inside
+//!    recv/poll loops; the latter is never allowlistable (see
+//!    [`loopdisc`]).
+//! 9. **determinism** — HashMap/HashSet iteration, `RandomState`,
+//!    wall-clock reads, and ambient randomness in replay-critical files
+//!    (fault injection, sampling, splitter/partition decisions) (see
+//!    [`determinism`]).
 //!
 //! Everything is built on a hand-rolled lexer (no `syn`), so the crate
 //! compiles offline with no dependencies — same constraint as `xtask`.
@@ -35,17 +47,24 @@
 pub mod analysis;
 pub mod atomics;
 pub mod custody;
+pub mod determinism;
+pub mod hotpath;
 pub mod items;
 pub mod lexer;
+pub mod loopdisc;
 pub mod report;
 pub mod waitgraph;
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 pub use analysis::{analyze_locks, panic_surface, AnalysisResult, Edge, LockGraph};
 pub use atomics::analyze_atomics;
 pub use custody::analyze_custody;
+pub use determinism::{analyze_determinism, NondetSource};
+pub use hotpath::{analyze_hotpath, HotRegion};
 pub use items::{parse_file, ParsedFile, UseDecl};
+pub use loopdisc::{analyze_loops, LoopSite};
 pub use report::{
     apply_allowlist, parse_allowlist, render_human, render_json, CustodySummary, Finding, Report,
 };
@@ -69,27 +88,55 @@ pub const PANIC_SURFACE_FILES: &[&str] = &[
 /// runtime lock structure.
 pub const SHIM_FILE: &str = "crates/pgxd/src/sync.rs";
 
-/// Runs all six analyses over in-memory sources.
+/// Runs all nine analyses over in-memory sources.
 ///
 /// `sources` is `(workspace-relative path, contents)`. `allow_text` is the
-/// contents of `analyze.allow` (empty string for none).
+/// contents of `analyze.allow` (empty string for none). Each pass is
+/// self-timed; the timings land in [`Report::timings_ms`] for the `--json`
+/// stdout path (the persisted report nulls them out — see `xtask`).
 pub fn analyze_sources(sources: &[(String, String)], allow_text: &str, allow_path: &str) -> Report {
     let files: Vec<ParsedFile> = sources
         .iter()
         .filter(|(rel, _)| !rel.ends_with(SHIM_FILE) && rel.as_str() != SHIM_FILE)
         .map(|(rel, src)| parse_file(rel, src))
         .collect();
+    let mut timings: Vec<(String, u64)> = Vec::new();
+    let timed = |name: &str, t0: Instant, timings: &mut Vec<(String, u64)>| {
+        timings.push((name.to_string(), t0.elapsed().as_millis() as u64));
+    };
+    let t0 = Instant::now();
     let mut result = analyze_locks(&files);
+    timed("lock-order+blocking-under-lock", t0, &mut timings);
+    let t0 = Instant::now();
     for pf in &files {
         if PANIC_SURFACE_FILES.iter().any(|p| pf.rel.ends_with(p) || pf.rel == *p) {
             result.findings.extend(panic_surface(pf));
         }
     }
+    timed("panic-surface", t0, &mut timings);
+    let t0 = Instant::now();
     let custody = analyze_custody(&files);
     result.findings.extend(custody.findings);
+    timed("chunk-custody", t0, &mut timings);
+    let t0 = Instant::now();
     let wait = analyze_waitgraph(&files);
     result.findings.extend(wait.findings);
+    timed("wait-graph", t0, &mut timings);
+    let t0 = Instant::now();
     result.findings.extend(analyze_atomics(&files));
+    timed("atomics-ordering", t0, &mut timings);
+    let t0 = Instant::now();
+    let hot = analyze_hotpath(&files);
+    result.findings.extend(hot.findings);
+    timed("hot-path-alloc", t0, &mut timings);
+    let t0 = Instant::now();
+    let loops = analyze_loops(&files);
+    result.findings.extend(loops.findings);
+    timed("loop-discipline", t0, &mut timings);
+    let t0 = Instant::now();
+    let det = analyze_determinism(&files);
+    result.findings.extend(det.findings);
+    timed("determinism", t0, &mut timings);
     let entries = parse_allowlist(allow_text);
     let mut report = apply_allowlist(result, &entries, allow_path);
     report.wait_ops = wait.ops;
@@ -99,6 +146,10 @@ pub fn analyze_sources(sources: &[(String, String)], allow_text: &str, allow_pat
         tracked_bindings: custody.tracked_bindings,
         custody_fns: custody.custody_fns,
     };
+    report.hot_regions = hot.regions;
+    report.loop_sites = loops.sites;
+    report.nondet_sources = det.sources;
+    report.timings_ms = timings;
     report
 }
 

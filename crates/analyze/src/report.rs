@@ -4,13 +4,17 @@
 use std::collections::BTreeSet;
 
 use crate::analysis::{AnalysisResult, Edge};
+use crate::determinism::NondetSource;
+use crate::hotpath::HotRegion;
+use crate::loopdisc::LoopSite;
 use crate::waitgraph::{step_counts, StepEdge, WaitOp};
 
 /// One analyzer finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// `lock-order`, `blocking-under-lock`, `panic-surface`,
-    /// `chunk-custody`, `wait-graph`, `atomics-ordering`, or
+    /// `chunk-custody`, `wait-graph`, `atomics-ordering`,
+    /// `hot-path-alloc`, `loop-discipline`, `determinism`, or
     /// `stale-allow` / `allow-format` for allowlist hygiene.
     pub rule: String,
     /// Workspace-relative file.
@@ -130,6 +134,17 @@ pub struct Report {
     pub step_edges: Vec<StepEdge>,
     /// Chunk-custody summary (v2).
     pub custody: CustodySummary,
+    /// Hot-region roots the hot-path-alloc pass walked from (v3).
+    pub hot_regions: Vec<HotRegion>,
+    /// Recv/acquire loops the loop-discipline pass judged (v3).
+    pub loop_sites: Vec<LoopSite>,
+    /// Non-determinism sources in replay-critical files, including
+    /// annotated ones (v3) — the audit surface stays visible.
+    pub nondet_sources: Vec<NondetSource>,
+    /// Per-pass wall time, `(pass, ms)`. Emitted only on the `--json`
+    /// stdout path; the committed report file carries `null` so timing
+    /// jitter never shows up as report drift.
+    pub timings_ms: Vec<(String, u64)>,
 }
 
 impl Report {
@@ -139,9 +154,11 @@ impl Report {
 }
 
 /// Applies the allowlist: suppresses matching findings, errors on stale or
-/// unjustified entries. Lock-order cycles and chunk-custody leaks cannot
-/// be allowlisted: a cycle is a deadlock and a leak is a correctness bug,
-/// never a judgment call — fix the code instead.
+/// unjustified entries. Lock-order cycles, chunk-custody leaks, and
+/// loop-discipline unbounded growth cannot be allowlisted: a cycle is a
+/// deadlock, a leak is a correctness bug, and unbounded growth in a recv
+/// loop is an OOM under backlog — never a judgment call, fix the code
+/// instead.
 pub fn apply_allowlist(
     result: AnalysisResult,
     entries: &[AllowEntry],
@@ -153,6 +170,7 @@ pub fn apply_allowlist(
     for f in result.findings {
         if f.rule == "lock-order"
             || (f.rule == "chunk-custody" && f.operation.starts_with("leak("))
+            || (f.rule == "loop-discipline" && f.operation.starts_with("unbounded-growth("))
         {
             findings.push(f);
             continue;
@@ -204,6 +222,10 @@ pub fn apply_allowlist(
         wait_ops: Vec::new(),
         step_edges: Vec::new(),
         custody: CustodySummary::default(),
+        hot_regions: Vec::new(),
+        loop_sites: Vec::new(),
+        nondet_sources: Vec::new(),
+        timings_ms: Vec::new(),
     }
 }
 
@@ -228,14 +250,17 @@ pub fn render_human(r: &Report) -> String {
         out.push_str(&format!("pgxd-analyze: {} finding(s)", r.findings.len()));
     }
     out.push_str(&format!(
-        " ({} allowlisted, {} lock(s), {} order edge(s), {} cycle(s), {} wait site(s), {} acquire site(s), {} tracked binding(s))\n",
+        " ({} allowlisted, {} lock(s), {} order edge(s), {} cycle(s), {} wait site(s), {} acquire site(s), {} tracked binding(s), {} hot region(s), {} loop site(s), {} nondet source(s))\n",
         r.allowlisted.len(),
         r.graph_nodes.len(),
         r.graph_edges.len(),
         r.cycles.len(),
         r.wait_ops.len(),
         r.custody.acquire_sites,
-        r.custody.tracked_bindings
+        r.custody.tracked_bindings,
+        r.hot_regions.len(),
+        r.loop_sites.len(),
+        r.nondet_sources.len()
     ));
     out
 }
@@ -336,8 +361,57 @@ pub fn render_json(r: &Report) -> String {
             )
         })
         .collect();
+    let hot_regions: Vec<String> = r
+        .hot_regions
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                esc(&h.name),
+                esc(&h.kind),
+                esc(&h.file),
+                h.line
+            )
+        })
+        .collect();
+    let loop_sites: Vec<String> = r
+        .loop_sites
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"function\":\"{}\",\"kind\":\"{}\"}}",
+                esc(&l.file),
+                l.line,
+                esc(&l.function),
+                esc(&l.kind)
+            )
+        })
+        .collect();
+    let nondet: Vec<String> = r
+        .nondet_sources
+        .iter()
+        .map(|n| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"function\":\"{}\",\"kind\":\"{}\"}}",
+                esc(&n.file),
+                n.line,
+                esc(&n.function),
+                esc(&n.kind)
+            )
+        })
+        .collect();
+    let timings = if r.timings_ms.is_empty() {
+        "null".to_string()
+    } else {
+        let inner: Vec<String> = r
+            .timings_ms
+            .iter()
+            .map(|(p, ms)| format!("\"{}\": {ms}", esc(p)))
+            .collect();
+        format!("{{{}}}", inner.join(", "))
+    };
     format!(
-        "{{\n  \"schema\": \"pgxd-analyze/2\",\n  \"clean\": {},\n  \"findings\": [{}],\n  \"allowlisted\": [{}],\n  \"lock_graph\": {{\"nodes\": {}, \"edges\": [{}]}},\n  \"cycles\": [{}],\n  \"wait_graph\": {{\"ops\": [{}], \"steps\": [{}], \"step_edges\": [{}]}},\n  \"custody\": {{\"acquire_sites\": {}, \"tracked_bindings\": {}, \"custody_fns\": {}}},\n  \"summary\": {{\"findings\": {}, \"allowlisted\": {}, \"locks\": {}, \"edges\": {}, \"cycles\": {}, \"wait_ops\": {}, \"acquire_sites\": {}, \"tracked_bindings\": {}}}\n}}\n",
+        "{{\n  \"schema\": \"pgxd-analyze/3\",\n  \"clean\": {},\n  \"findings\": [{}],\n  \"allowlisted\": [{}],\n  \"lock_graph\": {{\"nodes\": {}, \"edges\": [{}]}},\n  \"cycles\": [{}],\n  \"wait_graph\": {{\"ops\": [{}], \"steps\": [{}], \"step_edges\": [{}]}},\n  \"custody\": {{\"acquire_sites\": {}, \"tracked_bindings\": {}, \"custody_fns\": {}}},\n  \"hot_regions\": [{}],\n  \"loop_sites\": [{}],\n  \"nondet_sources\": [{}],\n  \"timings_ms\": {},\n  \"summary\": {{\"findings\": {}, \"allowlisted\": {}, \"locks\": {}, \"edges\": {}, \"cycles\": {}, \"wait_ops\": {}, \"acquire_sites\": {}, \"tracked_bindings\": {}, \"hot_regions\": {}, \"loop_sites\": {}, \"nondet_sources\": {}}}\n}}\n",
         r.is_clean(),
         findings.join(","),
         allowed.join(","),
@@ -350,6 +424,10 @@ pub fn render_json(r: &Report) -> String {
         r.custody.acquire_sites,
         r.custody.tracked_bindings,
         json_str_array(&r.custody.custody_fns),
+        hot_regions.join(","),
+        loop_sites.join(","),
+        nondet.join(","),
+        timings,
         r.findings.len(),
         r.allowlisted.len(),
         r.graph_nodes.len(),
@@ -357,7 +435,10 @@ pub fn render_json(r: &Report) -> String {
         r.cycles.len(),
         r.wait_ops.len(),
         r.custody.acquire_sites,
-        r.custody.tracked_bindings
+        r.custody.tracked_bindings,
+        r.hot_regions.len(),
+        r.loop_sites.len(),
+        r.nondet_sources.len()
     )
 }
 
@@ -428,11 +509,53 @@ mod tests {
         let f = finding(("panic-surface", "a\"b.rs", "A::f", None, "unwrap"));
         let r = apply_allowlist(result(vec![f]), &[], "analyze.allow");
         let j = render_json(&r);
-        assert!(j.contains("\"schema\": \"pgxd-analyze/2\""));
+        assert!(j.contains("\"schema\": \"pgxd-analyze/3\""));
         assert!(j.contains("a\\\"b.rs"));
         assert!(j.contains("\"clean\": false"));
         assert!(j.contains("\"wait_graph\""));
         assert!(j.contains("\"custody\""));
+        assert!(j.contains("\"hot_regions\""));
+        assert!(j.contains("\"loop_sites\""));
+        assert!(j.contains("\"nondet_sources\""));
+        // No timings on the persisted path: the field is null so the
+        // committed report never drifts on wall-clock jitter.
+        assert!(j.contains("\"timings_ms\": null"));
+    }
+
+    #[test]
+    fn timings_render_on_the_stdout_path() {
+        let mut r = apply_allowlist(result(Vec::new()), &[], "analyze.allow");
+        r.timings_ms.push(("hot-path-alloc".to_string(), 7));
+        let j = render_json(&r);
+        assert!(j.contains("\"timings_ms\": {\"hot-path-alloc\": 7}"), "{j}");
+    }
+
+    #[test]
+    fn unbounded_growth_cannot_be_allowlisted() {
+        let f = finding((
+            "loop-discipline",
+            "a.rs",
+            "A::pump",
+            None,
+            "unbounded-growth(push:self.backlog)",
+        ));
+        let key = f.key();
+        let entries = parse_allowlist(&format!("# nope\n{key}\n"));
+        let r = apply_allowlist(result(vec![f]), &entries, "analyze.allow");
+        assert!(r.findings.iter().any(|f| f.rule == "loop-discipline"));
+        // Loop-invariant acquire stays allowlistable (sometimes the lock
+        // is deliberately re-taken to bound hold time).
+        let a = finding((
+            "loop-discipline",
+            "a.rs",
+            "A::scan",
+            None,
+            "loop-invariant-acquire(lock:self.state)",
+        ));
+        let key = a.key();
+        let entries = parse_allowlist(&format!("# re-acquired to bound hold time\n{key}\n"));
+        let r = apply_allowlist(result(vec![a]), &entries, "analyze.allow");
+        assert!(r.is_clean(), "{:?}", r.findings);
     }
 
     #[test]

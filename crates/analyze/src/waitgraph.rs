@@ -39,7 +39,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use crate::analysis::block_close;
+use crate::analysis::{block_close, call_open_paren};
 use crate::items::{matching_paren, ParsedFile};
 use crate::report::Finding;
 
@@ -108,11 +108,10 @@ fn in_scope(pf: &ParsedFile) -> bool {
 fn classify_call(pf: &ParsedFile, dot: usize) -> Option<(OpKind, String)> {
     let toks = &pf.toks;
     let name = toks.get(dot + 1)?.text.as_str();
-    if toks.get(dot + 2).map(|t| t.text.as_str()) != Some("(") {
-        return None;
-    }
+    // Look through `::<T>` turbofish (`.recv_vec::<u64>(tag)`).
+    let open = call_open_paren(toks, dot + 1)?;
     let recv_ident = dot.checked_sub(1).map(|p| toks[p].text.as_str()).unwrap_or("");
-    let empty_args = toks.get(dot + 3).map(|t| t.text.as_str()) == Some(")");
+    let empty_args = toks.get(open + 1).map(|t| t.text.as_str()) == Some(")");
     let kind = if name == "wait_or_unwind"
         || (name == "barrier" && empty_args)
         || (name == "wait" && recv_ident == "barrier")
@@ -130,7 +129,9 @@ fn classify_call(pf: &ParsedFile, dot: usize) -> Option<(OpKind, String)> {
 
 /// `ctx.step(steps::X, ..)` regions in a body: `(start, end, step)` with
 /// the step constant lowercased to match the `steps::` string values.
-fn step_regions(pf: &ParsedFile, body: (usize, usize)) -> Vec<(usize, usize, String)> {
+/// Shared with the hot-path-alloc pass, whose hot-region roots are these
+/// same step bodies.
+pub(crate) fn step_regions(pf: &ParsedFile, body: (usize, usize)) -> Vec<(usize, usize, String)> {
     let toks = &pf.toks;
     let mut out = Vec::new();
     for i in body.0..body.1.saturating_sub(5) {
@@ -170,8 +171,9 @@ fn diverging(toks: &[crate::lexer::Tok], range: (usize, usize)) -> bool {
     })
 }
 
-/// First `{` after `from` with parens balanced, or None.
-fn body_open(pf: &ParsedFile, from: usize, end: usize) -> Option<usize> {
+/// First `{` after `from` with parens balanced, or None. Shared with the
+/// loop-discipline and hot-path passes, which walk the same loop bodies.
+pub(crate) fn body_open(pf: &ParsedFile, from: usize, end: usize) -> Option<usize> {
     let mut paren = 0i32;
     for j in from..end {
         match pf.toks[j].text.as_str() {
@@ -638,6 +640,18 @@ mod tests {
         assert_eq!((r.edges[0].from.as_str(), r.edges[0].to.as_str()), ("sampling", "exchange"));
         let sc = step_counts(&r.ops);
         assert_eq!(sc.len(), 2);
+    }
+
+    #[test]
+    fn turbofish_recv_is_classified_and_pairs_with_send() {
+        let r = run(
+            "impl M {\n    fn gather(&self) {\n        self.comm.send_vec(0, &v);\n        let x = self.comm.recv_vec::<u64>(1);\n    }\n}\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        let recvs: Vec<_> = r.ops.iter().filter(|o| o.kind == OpKind::Recv).collect();
+        assert_eq!(recvs.len(), 1, "{:?}", r.ops);
+        assert_eq!(recvs[0].callee, "recv_vec");
+        assert_eq!(recvs[0].line, 5);
     }
 
     #[test]

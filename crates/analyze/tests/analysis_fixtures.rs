@@ -171,3 +171,112 @@ fn aliased_use_fixture_parses_to_banned_paths() {
         ]
     );
 }
+
+#[test]
+fn hotpath_alloc_chain_names_every_hop() {
+    let src = include_str!("fixtures/fail_hotpath_alloc_chain.rs");
+    let r = run("fail_hotpath_alloc_chain.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "hot-path-alloc");
+    assert_eq!((f.file.as_str(), f.line), ("fail_hotpath_alloc_chain.rs", 21));
+    assert_eq!(f.operation, "alloc(to_vec)");
+    assert_eq!(f.function, "InjShipper::inj_pack");
+    // Root-to-site provenance: the step region, then each call hop.
+    assert!(f.chain[0].contains("step:exchange"), "{:?}", f.chain);
+    assert_eq!(
+        f.chain[1..],
+        ["InjShipper::inj_ship".to_string(), "InjShipper::inj_pack".to_string()]
+    );
+    // The region itself lands in the inventory.
+    assert!(
+        r.hot_regions.iter().any(|h| h.name == "step:exchange" && h.line == 11),
+        "{:?}",
+        r.hot_regions
+    );
+}
+
+#[test]
+fn hotpath_setup_alloc_is_clean() {
+    let src = include_str!("fixtures/pass_hotpath_setup_alloc.rs");
+    let r = run("pass_hotpath_setup_alloc.rs", src, "");
+    assert!(r.is_clean(), "{:?}", r.findings);
+    // The kernel root is inventoried even though nothing is flagged.
+    assert!(r.hot_regions.iter().any(|h| h.name.contains("hot_kernel")), "{:?}", r.hot_regions);
+}
+
+#[test]
+fn loop_invariant_acquire_is_flagged_and_allowlistable() {
+    let src = include_str!("fixtures/fail_loop_invariant_acquire.rs");
+    let r = run("fail_loop_invariant_acquire.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "loop-discipline");
+    assert_eq!((f.file.as_str(), f.line), ("fail_loop_invariant_acquire.rs", 9));
+    assert_eq!(f.operation, "loop-invariant-acquire(lock:self.table)");
+    // Unlike unbounded growth, a justified allowlist entry DOES cover
+    // an invariant acquire — hold-time trades can be deliberate.
+    let allow = format!("# re-acquire bounds hold time on purpose\n{}\n", f.key());
+    let r2 = run("fail_loop_invariant_acquire.rs", src, &allow);
+    assert!(r2.is_clean(), "{:?}", r2.findings);
+    assert_eq!(r2.allowlisted.len(), 1);
+}
+
+#[test]
+fn unbounded_recv_push_cannot_be_silenced() {
+    let src = include_str!("fixtures/fail_unbounded_recv_push.rs");
+    // The fixture carries an inline allow marker on the push line; it
+    // must not cover structural growth.
+    let r = run("fail_unbounded_recv_push.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "loop-discipline");
+    assert_eq!((f.file.as_str(), f.line), ("fail_unbounded_recv_push.rs", 12));
+    assert_eq!(f.operation, "unbounded-growth(push:self.backlog)");
+    assert!(f.chain[0].contains("fail_unbounded_recv_push.rs:9"), "{:?}", f.chain);
+    // An analyze.allow entry must not silence it either.
+    let allow = format!("# cannot happen\n{}\n", f.key());
+    let still = run("fail_unbounded_recv_push.rs", src, &allow);
+    assert!(
+        still.findings.iter().any(|f| f.operation.starts_with("unbounded-growth(")),
+        "{:?}",
+        still.findings
+    );
+}
+
+#[test]
+fn hashmap_iteration_in_fault_decision_is_flagged() {
+    let src = include_str!("fixtures/fail_hashmap_fault_decision.rs");
+    let r = run("fail_hashmap_fault_decision.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "determinism");
+    assert_eq!((f.file.as_str(), f.line), ("fail_hashmap_fault_decision.rs", 8));
+    assert_eq!(f.operation, "hashmap-iteration(pending)");
+    assert_eq!(f.function, "InjFaultPlan::inj_arm");
+    // The source inventory carries the site too.
+    assert!(
+        r.nondet_sources.iter().any(|s| s.kind == "hashmap-iteration" && s.line == 8),
+        "{:?}",
+        r.nondet_sources
+    );
+}
+
+#[test]
+fn instant_now_in_ordered_output_is_flagged() {
+    let src = include_str!("fixtures/fail_instant_ordered_output.rs");
+    let r = run("fail_instant_ordered_output.rs", src, "");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "determinism");
+    assert_eq!((f.file.as_str(), f.line), ("fail_instant_ordered_output.rs", 7));
+    assert_eq!(f.operation, "instant-now(Instant)");
+    // Annotating keeps the finding out but the inventory entry in.
+    let annotated = src.replace(
+        "        let t = Instant::now();",
+        "        // analyze: allow(determinism): test-only fixture reason\n        let t = Instant::now();",
+    );
+    let ok = run("fail_instant_ordered_output.rs", &annotated, "");
+    assert!(ok.is_clean(), "{:?}", ok.findings);
+    assert_eq!(ok.nondet_sources.len(), 1);
+}

@@ -1,0 +1,12 @@
+//! Should-fail fixture: HashMap iteration order decides which fault
+//! fires first — replay would reorder deliveries between runs.
+// analyze: scope(determinism)
+
+impl InjFaultPlan {
+    fn inj_arm(&mut self) {
+        let pending: HashMap<u64, InjFault> = self.take_pending();
+        for (id, f) in &pending {
+            self.deliver(*id, f);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Should-fail fixture: a §IV step body reaches a `to_vec` two calls
+//! deep — the full root-to-site chain must name every hop.
+// analyze: scope(hot-path-alloc)
+
+pub struct InjShipper {
+    data: Vec<u8>,
+}
+
+impl InjShipper {
+    fn inj_drive(&self, ctx: &Ctx) {
+        ctx.step(steps::EXCHANGE, |c| {
+            self.inj_ship(c);
+        });
+    }
+
+    fn inj_ship(&self, c: &C) {
+        self.inj_pack(c);
+    }
+
+    fn inj_pack(&self, _c: &C) {
+        let copy = self.data.to_vec();
+        drop(copy);
+    }
+}

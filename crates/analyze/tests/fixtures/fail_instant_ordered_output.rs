@@ -1,0 +1,11 @@
+//! Should-fail fixture: a wall-clock read stamps output that replay
+//! compares across runs — the timestamps can never match.
+// analyze: scope(determinism)
+
+impl InjStamper {
+    fn inj_stamp(&mut self) -> u64 {
+        let t = Instant::now();
+        self.seq.push(t);
+        t.elapsed().as_nanos() as u64
+    }
+}

@@ -1,0 +1,14 @@
+//! Should-fail fixture: the table lock depends on none of the loop's
+//! variant identifiers — it belongs outside the `for`.
+// analyze: scope(loop-discipline)
+
+impl InjScanner {
+    fn inj_scan(&self, n: usize) -> u64 {
+        let mut total = 0;
+        for i in 0..n {
+            let g = self.table.lock();
+            total += g.get(i).copied().unwrap_or(0);
+        }
+        total
+    }
+}

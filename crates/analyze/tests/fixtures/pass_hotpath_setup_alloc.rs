@@ -1,0 +1,18 @@
+//! Should-pass fixture: constructor allocations are setup, not steady
+//! state — no hot region reaches them, so the pass stays quiet.
+// analyze: scope(hot-path-alloc)
+
+pub struct InjWarm {
+    buf: Vec<u64>,
+    name: String,
+}
+
+impl InjWarm {
+    fn new(n: usize) -> Self {
+        InjWarm { buf: Vec::with_capacity(n), name: String::new() }
+    }
+
+    fn hot_kernel(&mut self) {
+        self.buf.sort_unstable();
+    }
+}

@@ -11,6 +11,8 @@ use pgxd_algos::Key;
 
 /// Picks `count` evenly spaced samples from sorted `data`. Returns fewer
 /// (possibly zero) when the data is shorter than requested.
+// analyze: allow(hot-path-alloc): O(s) sample vector, produced once per
+// sampling round and shipped to the master.
 pub fn select_regular_samples<K: Key>(data: &[K], count: usize) -> Vec<K> {
     let n = data.len();
     let count = count.min(n);
@@ -25,6 +27,8 @@ pub fn select_regular_samples<K: Key>(data: &[K], count: usize) -> Vec<K> {
 /// `p − 1` final splitters at regular positions. Empty when there are no
 /// samples at all (degenerate tiny inputs) — the partitioner then routes
 /// everything to machine 0.
+// analyze: allow(hot-path-alloc): O(p·s) gathered-sample merge on the
+// master, once per run; the splitter vector is the product.
 pub fn select_splitters<K: Key>(sample_runs: &[Vec<K>], p: usize) -> Vec<K> {
     let refs: Vec<&[K]> = sample_runs.iter().map(|r| r.as_slice()).collect();
     let merged = kway_merge(&refs);

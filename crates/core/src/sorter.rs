@@ -127,6 +127,8 @@ fn run_local_sort<T: Key>(ctx: &MachineCtx, algo: LocalSortAlgo, data: Vec<T>) -
 // analyze: allow(panic-surface): the "one task" expect is guarded by the
 // len == 1 check, and the Radix/Auto arms are unreachable because
 // resolve_local_algo runs before kernel dispatch.
+// analyze: allow(hot-path-alloc): per-chunk run descriptors and task
+// closures at batch scale — one task per chunk, not per element.
 fn sort_comparison_chunks<T: Key>(
     ctx: &MachineCtx,
     algo: LocalSortAlgo,
@@ -184,6 +186,8 @@ fn sort_comparison_chunks<T: Key>(
 // analyze: allow(panic-surface): run and segment indexing follows
 // plan_multiway_splits rows, which are monotone per run and sum to
 // out.len() by construction.
+// analyze: allow(hot-path-alloc): per-part output staging for the
+// parallel merge; parts escape as the final sorted partition.
 fn merge_runs_with_tasks<T: Key>(
     tasks: &TaskManager,
     data: &[T],
@@ -224,6 +228,8 @@ fn merge_runs_with_tasks<T: Key>(
 /// sort result, past the pool's custody horizon.
 // analyze: allow(panic-surface): the `data[0]` seed read is guarded by the
 // data.len() < 2 early return, and run bounds mirror the exchange output.
+// analyze: allow(hot-path-alloc): run-slice collection plus the merged
+// output buffer, once per machine per run.
 fn final_merge_runs<T: Key>(
     ctx: &MachineCtx,
     algo: FinalMergeAlgo,
@@ -461,6 +467,9 @@ impl DistSorter {
     // analyze: allow(panic-surface): batch and destination indexing is
     // bounded by the SPMD contract — per-batch offsets, send offsets, and
     // source bounds are all built from the same batch set in this call.
+    // analyze: allow(hot-path-alloc): §IV step orchestration — sample,
+    // splitter, and per-destination staging buffers are the step outputs
+    // themselves, allocated at batch (not element) granularity.
     pub fn sort_batch<K: Key>(
         &self,
         ctx: &mut MachineCtx,
@@ -603,6 +612,8 @@ impl DistSorter {
         })
     }
 
+    // analyze: allow(hot-path-alloc): top-level driver staging (the local
+    // batch vector) handed straight into the step pipeline.
     fn sort_impl<T: Key>(&self, ctx: &mut MachineCtx, local: Vec<T>) -> SortedPartition<T> {
         let p = ctx.num_machines();
         let workers = ctx.workers();

@@ -110,12 +110,15 @@ impl CommSender {
 
     /// Sends an owned `Vec<T>` to `dst`. Wire bytes = `len * size_of::<T>()`.
     /// Self-sends are delivered but not charged to the network.
+    // analyze: allow(hot-path-alloc): the boxed payload IS the wire
+    // format — the in-process fabric ships `Box<dyn Any>` envelopes.
     pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) {
         let wire_bytes = std::mem::size_of::<T>() * data.len();
         self.send_packet(dst, tag, wire_bytes, Box::new(data));
     }
 
     /// Sends a single owned value to `dst`.
+    // analyze: allow(hot-path-alloc): boxed wire envelope (see send_vec).
     pub fn send_value<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
         let wire_bytes = std::mem::size_of::<T>();
         self.send_packet(dst, tag, wire_bytes, Box::new(value));
@@ -124,6 +127,7 @@ impl CommSender {
     /// Sends a value whose wire size differs from `size_of::<T>()` (e.g. a
     /// header + heap payload pair). The caller supplies the true byte
     /// count for accounting.
+    // analyze: allow(hot-path-alloc): boxed wire envelope (see send_vec).
     pub fn send_value_with_bytes<T: Send + 'static>(
         &self,
         dst: usize,
@@ -138,6 +142,8 @@ impl CommSender {
     /// offset `offset` in `dst`'s output buffer. Wire bytes = payload plus
     /// the offset header; the chunk is counted in
     /// [`ExchangeStats`](crate::metrics::ExchangeStats).
+    // analyze: allow(hot-path-alloc): boxed wire envelope (see send_vec);
+    // one per exchange chunk, amortized over the chunk's elements.
     pub fn send_offset_chunk<T: Send + 'static>(
         &self,
         dst: usize,
@@ -205,6 +211,7 @@ impl CommSender {
     }
 
     /// [`send_vec`]: CommSender::send_vec
+    // analyze: allow(hot-path-alloc): boxed wire envelope (see send_vec).
     pub fn send_shared_vec<T: Send + Sync + 'static>(
         &self,
         dst: usize,
@@ -354,6 +361,8 @@ impl CommManager {
     }
 
     /// A clonable send handle (for send-while-receive patterns).
+    // analyze: allow(hot-path-alloc): O(1) handle clone, taken once per
+    // collective to enable send-while-receive — not per element.
     pub fn sender(&self) -> CommSender {
         self.sender.clone()
     }
@@ -392,7 +401,7 @@ impl CommManager {
     /// `step_timeout` applies instead and elapses into a structured abort
     /// rather than a plain panic.
     pub fn recv_packet(&mut self, tag: Tag) -> Packet {
-        if let Some(f) = self.sender.fault.clone() {
+        if let Some(f) = self.sender.fault.as_ref() {
             // Mainline fault point: the plan's kill fires here.
             f.fault_point(self.sender.id);
         }
@@ -400,6 +409,9 @@ impl CommManager {
             self.note_delivered(&pkt);
             return pkt;
         }
+        // analyze: allow(hot-path-alloc): one Arc refcount bump per
+        // receive — the control handle must be detached from `self` before
+        // the mutable receive loop below can borrow the mailbox.
         match self.control.clone() {
             None => self.recv_packet_legacy(tag),
             Some(ctrl) => self.recv_packet_controlled(tag, ctrl),
@@ -409,6 +421,8 @@ impl CommManager {
     // analyze: allow(panic-surface): a two-minute starved receive means the
     // SPMD protocol is broken (mismatched collective order) — crash with
     // the mailbox contents, don't hang.
+    // analyze: allow(hot-path-alloc): the only allocation is the parked-
+    // tag listing assembled for the timeout panic diagnostic.
     fn recv_packet_legacy(&mut self, tag: Tag) -> Packet {
         loop {
             let pkt = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
@@ -513,6 +527,10 @@ impl CommManager {
     /// the last receiver to drop its handle takes the allocation for free,
     /// everyone else clones locally — at most one clone per receiver
     /// instead of `p − 1` clones on the sender.
+    // analyze: allow(hot-path-alloc): the clone is this collective's
+    // documented fallback — the last receiver takes the allocation for
+    // free, earlier receivers clone once locally instead of the sender
+    // cloning p-1 times.
     pub fn recv_shared_vec<T: Clone + Send + Sync + 'static>(&mut self, tag: Tag) -> (usize, Vec<T>) {
         let pkt = self.recv_packet(tag);
         let src = pkt.src;

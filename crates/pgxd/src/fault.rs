@@ -427,6 +427,8 @@ impl ClusterBarrier {
             return BarrierWait::Released;
         }
         let gen = g.generation;
+        // analyze: allow(determinism): wall clock only arms the abort
+        // timeout; it never orders replayed events.
         let deadline = self.timeout.map(|t| Instant::now() + t);
         loop {
             if self.aborted.load(Ordering::Acquire) {
@@ -441,6 +443,8 @@ impl ClusterBarrier {
                 // no other lock is held.
                 None => g = self.cv.wait(g),
                 Some(d) => {
+                    // analyze: allow(determinism): timeout-expiry check — aborts the
+                    // run, never feeds replayed ordering.
                     let now = Instant::now();
                     if now >= d {
                         // This generation can never complete: a peer died

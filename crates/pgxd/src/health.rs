@@ -506,6 +506,8 @@ impl HealthMonitor {
     /// from step boundaries and the watchdog; also exposed for tests.
     // analyze: allow(atomics-ordering): reads of progress/done statistic
     // cells; the stall detector tolerates staleness by construction.
+    // analyze: allow(hot-path-alloc): sampling-cadence snapshot — runs once
+    // per step end / watchdog tick, O(p) cells, never per element.
     pub fn sample(&self) {
         let now = self.registry.now_ns();
         let stall_ns = self.cfg.stall_after.as_nanos().min(u64::MAX as u128) as u64;
@@ -612,6 +614,8 @@ impl HealthMonitor {
     /// Flags steps where one machine took `straggler_ratio`× the median.
     /// Only evaluates steps every machine has reported, so a step still
     /// running somewhere is not judged on partial data.
+    // analyze: allow(hot-path-alloc): straggler evaluation scratch — O(p)
+    // per sampled step at watchdog cadence, not on the data path.
     fn eval_stragglers(&self, st: &mut MonitorState) {
         let min_ns = self.cfg.straggler_min.as_nanos().min(u64::MAX as u128) as u64;
         let mut steps: Vec<&'static str> = Vec::new();
@@ -673,6 +677,9 @@ impl HealthMonitor {
             if timed_out {
                 drop(g);
                 self.sample();
+                // analyze: allow(loop-discipline): deliberate re-acquire —
+                // sample() must run with the shutdown lock dropped, so the
+                // guard cannot be hoisted out of the iteration.
                 g = self.shutdown.lock();
             }
         }

@@ -11,7 +11,7 @@ use crate::checker;
 use crate::comm::{kinds, CommManager, Tag};
 use crate::fault::{BarrierWait, ClusterBarrier, FaultInjector, InjectedFailure};
 use crate::health::HealthMonitor;
-use crate::metrics::{labeled, CommSummary, Counter, SharedCommStats, SharedMetrics, StepTimer};
+use crate::metrics::{labeled, CommSummary, Counter, Histogram, SharedCommStats, SharedMetrics, StepTimer};
 use crate::pool::ChunkPool;
 use crate::task::{self, TaskManager};
 use crate::trace::{EventKind, MachineTrace, LANE_MAIN};
@@ -49,6 +49,10 @@ pub struct MachineCtx {
     steps_counter: Counter,
     /// `pgxd_barriers_total{machine}` — barriers this machine crossed.
     barriers_counter: Counter,
+    /// Cached `pgxd_step_ns{step}` histogram handles, one per step name
+    /// seen, so steady-state steps record without re-rendering the
+    /// labeled metric name or taking the registry lock.
+    step_hists: Vec<(&'static str, Histogram)>,
     collective_seq: u64,
 }
 
@@ -123,6 +127,7 @@ impl MachineCtx {
             health,
             steps_counter,
             barriers_counter,
+            step_hists: Vec::new(),
             collective_seq: 0,
         }
     }
@@ -203,11 +208,18 @@ impl MachineCtx {
     /// Publishes one completed step to the registry (the cluster-wide
     /// `pgxd_step_ns{step}` histogram and this machine's step counter)
     /// and to the health monitor's straggler detector.
-    fn record_step_metrics(&self, name: &'static str, elapsed: std::time::Duration) {
+    fn record_step_metrics(&mut self, name: &'static str, elapsed: std::time::Duration) {
         self.steps_counter.inc();
-        self.registry
-            .histogram(&labeled("pgxd_step_ns", &[("step", name)]))
-            .record_duration(elapsed);
+        if let Some((_, h)) = self.step_hists.iter().find(|(n, _)| *n == name) {
+            h.record_duration(elapsed);
+        } else {
+            // analyze: allow(hot-path-alloc): first-use registry miss —
+            // the handle is cached, so steady-state steps never build
+            // the label string or take the registry lock.
+            let h = self.registry.histogram(&labeled("pgxd_step_ns", &[("step", name)]));
+            h.record_duration(elapsed);
+            self.step_hists.push((name, h));
+        }
         if let Some(h) = &self.health {
             h.note_step_end(self.id, name, elapsed);
         }
@@ -340,6 +352,10 @@ impl MachineCtx {
     /// elsewhere.
     // analyze: allow(panic-surface): collective indexing is bounded by the
     // machine count and a missing packet is a protocol bug worth a panic.
+    // analyze: allow(hot-path-alloc): O(p) control-plane allocations per
+    // collective call — gather/broadcast bookkeeping scales with the
+    // machine count, not the element count, and the payloads escape to
+    // the caller.
     pub fn gather_to_master<T: Send + 'static>(&mut self, data: Vec<T>) -> Option<Vec<Vec<T>>> {
         let tag = Tag {
             kind: kinds::GATHER,
@@ -396,6 +412,10 @@ impl MachineCtx {
 
     // analyze: allow(panic-surface): a missing broadcast packet is a
     // protocol bug; crashing beats silently desynchronizing the step.
+    // analyze: allow(hot-path-alloc): O(p) control-plane allocations per
+    // collective call — gather/broadcast bookkeeping scales with the
+    // machine count, not the element count, and the payloads escape to
+    // the caller.
     fn broadcast_shared<T: Send + Sync + Clone + 'static>(
         &mut self,
         root: usize,
@@ -426,6 +446,10 @@ impl MachineCtx {
     /// returns the `p` vectors received, indexed by source.
     // analyze: allow(panic-surface): indexing is by machine id < p
     // (asserted on entry) and a missing packet is a protocol bug.
+    // analyze: allow(hot-path-alloc): O(p) control-plane allocations per
+    // collective call — gather/broadcast bookkeeping scales with the
+    // machine count, not the element count, and the payloads escape to
+    // the caller.
     pub fn all_to_all<T: Send + 'static>(&mut self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(parts.len(), self.p, "one part per destination required");
         let tag = Tag {
@@ -546,6 +570,9 @@ impl MachineCtx {
 
         let expected_remote = total - (matrix[self.id][self.id] as usize);
         let sender = self.comm.sender();
+        // analyze: allow(hot-path-alloc): one worker-pool handle clone per
+        // exchange — the Arc bump detaches the manager from `self` so the
+        // receive loop below can borrow the comm manager mutably.
         let task = self.task.clone();
         let buffer_bytes = self.buffer_bytes;
         let (id, p) = (self.id, self.p);
@@ -561,16 +588,24 @@ impl MachineCtx {
             if slice.is_empty() {
                 continue;
             }
+            // analyze: allow(hot-path-alloc): one fabric-handle clone per
+            // destination task, O(p) per exchange.
             let sender = sender.clone();
+            // analyze: allow(hot-path-alloc): one pool-handle clone per
+            // destination task; the chunks inside are recycled, not allocated.
             let pool = self.pool.clone();
             let base = my_base_at[dst];
             let lane = 1 + tasks.len() as u32;
             let index = tasks.len() as u64;
             tasks.push(task::traced_task(
+                // analyze: allow(hot-path-alloc): per-task trace-sink handle,
+                // O(p) per exchange, None-cheap when untraced.
                 self.trace.clone(),
                 lane,
                 dst as u64,
                 index,
+                // analyze: allow(hot-path-alloc): one boxed send task per
+                // destination per exchange — task granularity, not chunk.
                 Box::new(move || {
                     let mut buf: RequestBuffer<T> =
                         RequestBuffer::with_pool(dst, data_tag, buffer_bytes, base, pool);
@@ -591,6 +626,8 @@ impl MachineCtx {
         let comm = &mut self.comm;
         let pool = &self.pool;
         let stats = &self.stats;
+        // analyze: allow(hot-path-alloc): one trace-sink handle for the
+        // whole receive loop.
         let trace = self.trace.clone();
         let out_ptr = out.as_mut_ptr();
         let placed = task.run_tasks_overlapping(tasks, move || {
@@ -754,6 +791,10 @@ impl MachineCtx {
     /// source bounds, this sender's base offset at each destination).
     // analyze: allow(panic-surface): the count matrix is dense p×p by
     // construction; indexing by machine id cannot miss.
+    // analyze: allow(hot-path-alloc): O(p) control-plane allocations per
+    // collective call — gather/broadcast bookkeeping scales with the
+    // machine count, not the element count, and the payloads escape to
+    // the caller.
     fn exchange_count_phase(
         &mut self,
         send_offsets: &[usize],
@@ -784,6 +825,10 @@ impl MachineCtx {
     /// per contributor; per-receiver wire accounting is unchanged.
     // analyze: allow(panic-surface): indexing is by machine id < p and a
     // missing packet is a protocol bug worth a panic.
+    // analyze: allow(hot-path-alloc): O(p) control-plane allocations per
+    // collective call — gather/broadcast bookkeeping scales with the
+    // machine count, not the element count, and the payloads escape to
+    // the caller.
     fn all_gather_with_tag<T: Send + Sync + Clone + 'static>(
         &mut self,
         data: Vec<T>,

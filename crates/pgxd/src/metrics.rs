@@ -167,6 +167,8 @@ pub fn histogram_bucket_upper(i: usize) -> u64 {
 }
 
 impl Default for Histogram {
+    // analyze: allow(hot-path-alloc): one shared core per histogram,
+    // allocated at registration; recording is lock- and alloc-free.
     fn default() -> Self {
         Histogram {
             core: Arc::new(HistogramCore {
@@ -318,6 +320,9 @@ impl HistogramSnapshot {
 /// Renders `family{k="v",...}` — the canonical labeled-metric name used
 /// as a registry key (and understood label-wise by the Prometheus
 /// exporter).
+// analyze: allow(hot-path-alloc): name rendering happens at metric
+// registration; hot paths hold pre-registered handles (see machine.rs
+// step_hists) and never re-render names.
 pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return family.to_string();
@@ -417,6 +422,9 @@ impl MetricsRegistry {
     }
 
     /// The histogram named `name`, creating it empty on first use.
+    // analyze: allow(hot-path-alloc): first-use registration — callers
+    // cache the returned handle (machine.rs step_hists), so steady-state
+    // recording never re-enters here.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut g = self.inner.lock();
         if let Some((_, h)) = g.histograms.iter().find(|(n, _)| n == name) {
@@ -526,6 +534,8 @@ impl MetricsSnapshot {
 
     /// Merges another machine's snapshot into this one: counters sum,
     /// gauges keep the max, histograms add bucket-wise. Names union.
+    // analyze: allow(hot-path-alloc): snapshot merge runs at report/
+    // gather granularity (once per run or per gather), not per element.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (n, v) in &other.counters {
             match self.counters.iter_mut().find(|(mine, _)| mine == n) {
@@ -844,6 +854,8 @@ impl CommStats {
     }
 
     /// Bytes addressed to each machine, indexed by destination.
+    // analyze: allow(hot-path-alloc): O(p) counter snapshot at watchdog
+    // sampling cadence.
     pub fn per_dst_snapshot(&self) -> Vec<u64> {
         self.per_dst_bytes.iter().map(|b| b.get()).collect()
     }

@@ -352,6 +352,8 @@ impl ChunkPool {
         }
     }
 
+    // analyze: allow(hot-path-alloc): label string is only built on trace/
+    // checker-enabled release paths; production release never calls this.
     fn machine_label(&self) -> String {
         if self.machine == usize::MAX {
             "<standalone>".to_string()

@@ -105,6 +105,8 @@ impl TaskManager {
         drop(tx); // workers exit when the list drains
         std::thread::scope(|scope| {
             for _ in 0..workers {
+                // analyze: allow(hot-path-alloc): one channel-handle
+                // clone per worker per task batch, not per task.
                 let rx = rx.clone();
                 scope.spawn(move || {
                     while let Ok(task) = rx.recv() {
@@ -143,6 +145,8 @@ impl TaskManager {
         drop(tx);
         std::thread::scope(|scope| {
             for _ in 0..workers {
+                // analyze: allow(hot-path-alloc): one channel-handle
+                // clone per worker per task batch, not per task.
                 let rx = rx.clone();
                 scope.spawn(move || {
                     while let Ok(task) = rx.recv() {
@@ -233,6 +237,8 @@ pub fn traced_task<'env>(
 ) -> Box<dyn FnOnce() + Send + 'env> {
     match trace {
         None => task,
+        // analyze: allow(hot-path-alloc): one wrapper box per traced
+        // task — traced runs only; the untraced path is untouched.
         Some(t) => Box::new(move || {
             let t0 = t.now_ns();
             task();

@@ -1,7 +1,8 @@
 //! Workspace automation. `cargo xtask check` is the one entry point CI and
 //! humans use: it runs the policy lints below plus the `pgxd-analyze`
 //! static analyses (lock-order, blocking-under-lock, panic-surface,
-//! chunk-custody, wait-graph, atomics-ordering — see `crates/analyze`) and
+//! chunk-custody, wait-graph, atomics-ordering, hot-path-alloc,
+//! loop-discipline, determinism — see `crates/analyze`) and
 //! fails if either finds anything. `lint` and `analyze` run each half
 //! alone; every subcommand takes `--json`.
 //!
@@ -458,9 +459,11 @@ fn run_lint(root: &Path, json: bool) -> Vec<Violation> {
 }
 
 /// Runs the analyzer half, writing `results/analyze_report.json`. Returns
-/// the report (already printed unless `json`).
+/// the report (already printed unless `json`). The persisted file gets
+/// `"timings_ms": null` — per-pass wall times only ride the `--json`
+/// stdout path, so the committed report never drifts on timing jitter.
 fn run_analyze(root: &Path, json: bool) -> pgxd_analyze::Report {
-    let report = match pgxd_analyze::analyze_workspace(root) {
+    let mut report = match pgxd_analyze::analyze_workspace(root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask analyze: cannot read workspace sources: {e}");
@@ -468,7 +471,9 @@ fn run_analyze(root: &Path, json: bool) -> pgxd_analyze::Report {
         }
     };
     let out = root.join("results");
+    let timings = std::mem::take(&mut report.timings_ms);
     let report_json = pgxd_analyze::render_json(&report);
+    report.timings_ms = timings;
     if std::fs::create_dir_all(&out).is_ok() {
         if let Err(e) = std::fs::write(out.join("analyze_report.json"), &report_json) {
             eprintln!("xtask analyze: cannot write results/analyze_report.json: {e}");
